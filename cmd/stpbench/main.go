@@ -1,0 +1,93 @@
+// Command stpbench regenerates the tables and figures of the paper's
+// evaluation section on the simulated Paragon and T3D.
+//
+// Usage:
+//
+//	stpbench -list               # list every experiment
+//	stpbench -fig fig3           # print one figure's series
+//	stpbench -fig all            # print everything (EXPERIMENTS.md input)
+//	stpbench -fig fig6 -csv      # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	stpbcast "repro"
+	"repro/internal/viz"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the available experiments")
+	fig := flag.String("fig", "", "experiment id to run (e.g. fig3), or 'all'")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	plot := flag.Bool("plot", false, "render each curve as an ASCII bar chart")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range stpbcast.Experiments() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+	case *fig == "all":
+		for _, e := range stpbcast.Experiments() {
+			if err := runOne(e, *csv, *plot); err != nil {
+				fatal(err)
+			}
+		}
+	case *fig != "":
+		e, err := stpbcast.ExperimentByID(*fig)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runOne(e, *csv, *plot); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e stpbcast.Experiment, csv, plot bool) error {
+	s, err := e.Run()
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	fmt.Printf("== %s == %s\n", e.ID, e.Title)
+	fmt.Printf("paper: %s\n", e.Paper)
+	switch {
+	case csv:
+		printCSV(s)
+	case plot:
+		for _, curve := range s.Order {
+			vals := make([]float64, len(s.XLabels))
+			for i := range s.XLabels {
+				vals[i] = s.Get(curve, i)
+			}
+			fmt.Print(viz.SeriesChart(curve+" ["+s.YAxis+"]", s.XLabels, vals, 50))
+		}
+	default:
+		fmt.Print(s.Format())
+	}
+	fmt.Println()
+	return nil
+}
+
+func printCSV(s *stpbcast.Series) {
+	fmt.Printf("%s,%s\n", s.XAxis, strings.Join(s.Order, ","))
+	for i, x := range s.XLabels {
+		row := []string{x}
+		for _, name := range s.Order {
+			row = append(row, fmt.Sprintf("%.4f", s.Get(name, i)))
+		}
+		fmt.Println(strings.Join(row, ","))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stpbench:", err)
+	os.Exit(1)
+}

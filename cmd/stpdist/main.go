@@ -1,0 +1,50 @@
+// Command stpdist visualizes the paper's source distributions on a logical
+// mesh, the way Figure 1 draws them ('#' marks a source processor).
+//
+// Usage:
+//
+//	stpdist -rows 10 -cols 10 -s 30            # all distributions
+//	stpdist -rows 10 -cols 10 -s 30 -dist Cr   # one distribution
+//	stpdist -rows 16 -cols 16 -s 64 -ideal     # ideal targets too
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	stpbcast "repro"
+	"repro/internal/dist"
+)
+
+func main() {
+	rows := flag.Int("rows", 10, "mesh rows")
+	cols := flag.Int("cols", 10, "mesh columns")
+	s := flag.Int("s", 30, "number of source processors")
+	name := flag.String("dist", "", "single distribution to draw (R C E Dr Dl B Cr Sq); empty = all")
+	ideal := flag.Bool("ideal", false, "also draw the ideal repositioning targets")
+	flag.Parse()
+
+	var dists []stpbcast.Distribution
+	if *name != "" {
+		d, err := stpbcast.DistributionByName(*name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stpdist:", err)
+			os.Exit(1)
+		}
+		dists = []stpbcast.Distribution{d}
+	} else {
+		dists = stpbcast.Distributions()
+	}
+	if *ideal {
+		dists = append(dists, dist.IdealRows(), dist.IdealColumns(), dist.IdealSnake())
+	}
+	for _, d := range dists {
+		sources, err := d.Sources(*rows, *cols, *s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stpdist: %s: %v\n", d.Name(), err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s(%d) on %d×%d:\n%s\n", d.Name(), *s, *rows, *cols, dist.Render(*rows, *cols, sources))
+	}
+}

@@ -1,0 +1,92 @@
+// Command stpreport regenerates every experiment and emits a Markdown
+// report — one section per paper table/figure with the paper's expected
+// behaviour and the measured series — suitable for appending to
+// EXPERIMENTS.md or pasting into an issue.
+//
+// Usage:
+//
+//	stpreport              # full report to stdout
+//	stpreport -o report.md # write to a file
+//	stpreport -ids fig3,fig9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	stpbcast "repro"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	ids := flag.String("ids", "", "comma-separated experiment ids (default all)")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	exps := stpbcast.Experiments()
+	if *ids != "" {
+		var chosen []stpbcast.Experiment
+		for _, id := range strings.Split(*ids, ",") {
+			e, err := stpbcast.ExperimentByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			chosen = append(chosen, e)
+		}
+		exps = chosen
+	}
+
+	fmt.Fprintf(w, "# s-to-p broadcasting — regenerated results\n\n")
+	fmt.Fprintf(w, "Generated %s by cmd/stpreport. All values are simulated\n", time.Now().Format("2006-01-02 15:04"))
+	fmt.Fprintf(w, "milliseconds (or percent where noted); runs are deterministic.\n\n")
+	for _, e := range exps {
+		s, err := e.Run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Fprintf(w, "## %s — %s\n\n", e.ID, e.Title)
+		fmt.Fprintf(w, "**Paper:** %s\n\n", e.Paper)
+		writeMarkdownTable(w, s)
+		if s.Notes != "" {
+			fmt.Fprintf(w, "\n*%s*\n", s.Notes)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func writeMarkdownTable(w io.Writer, s *stpbcast.Series) {
+	fmt.Fprintf(w, "| %s |", s.XAxis)
+	for _, name := range s.Order {
+		fmt.Fprintf(w, " %s |", name)
+	}
+	fmt.Fprintf(w, "\n|---|")
+	for range s.Order {
+		fmt.Fprintf(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for i, x := range s.XLabels {
+		fmt.Fprintf(w, "| %s |", x)
+		for _, name := range s.Order {
+			fmt.Fprintf(w, " %.3f |", s.Get(name, i))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stpreport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command stptrace runs one s-to-p broadcast on a simulated machine and
+// reports its timing, the paper's characteristic parameters, the
+// active-processor growth profile, and (optionally) the full event trace
+// as JSON lines.
+//
+// Usage:
+//
+//	stptrace -machine paragon -rows 10 -cols 10 -alg Br_xy_source -dist E -s 30 -bytes 4096
+//	stptrace -machine t3d -p 128 -alg Br_Lin -dist Sq -s 40 -bytes 4096 -json events.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	stpbcast "repro"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/topology"
+	"repro/internal/viz"
+)
+
+func main() {
+	machineName := flag.String("machine", "paragon", "paragon | paragon-mpi | t3d | t3d-random")
+	rows := flag.Int("rows", 10, "mesh rows (paragon)")
+	cols := flag.Int("cols", 10, "mesh columns (paragon)")
+	p := flag.Int("p", 128, "processors (t3d)")
+	seed := flag.Int64("seed", 1, "placement seed (t3d-random)")
+	alg := flag.String("alg", "Br_xy_source", "algorithm name")
+	distName := flag.String("dist", "E", "source distribution name")
+	s := flag.Int("s", 30, "number of sources")
+	msgBytes := flag.Int("bytes", 4096, "message length per source")
+	jsonOut := flag.String("json", "", "write the event trace as JSON lines to this file")
+	heat := flag.Bool("heat", false, "render an ASCII link-load heatmap of the mesh (paragon machines)")
+	hot := flag.Int("hot", 0, "print the N busiest directed links")
+	flag.Parse()
+
+	var m *stpbcast.Machine
+	switch *machineName {
+	case "paragon":
+		m = stpbcast.NewParagon(*rows, *cols)
+	case "paragon-mpi":
+		m = stpbcast.NewParagonMPI(*rows, *cols)
+	case "t3d":
+		m = stpbcast.NewT3D(*p)
+	case "t3d-random":
+		m = stpbcast.NewT3DRandom(*p, *seed)
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machineName))
+	}
+
+	cfg := stpbcast.Config{Algorithm: *alg, Distribution: *distName, Sources: *s, MsgBytes: *msgBytes}
+	res, err := stpbcast.SimulateTraced(m, cfg, 0)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("machine:   %s (%d processors, logical %d×%d)\n", m.Name, m.P(), m.Rows, m.Cols)
+	fmt.Printf("broadcast: %s, %s(%d), L=%d bytes\n", *alg, *distName, *s, *msgBytes)
+	fmt.Printf("elapsed:   %.3f ms (simulated)\n", float64(res.Elapsed.Nanoseconds())/1e6)
+	fmt.Printf("params:    congestion=%d wait=%d send/rec=%d av_msg_lgth=%.0fB av_act_proc=%.1f\n",
+		res.Params.Congestion, res.Params.Wait, res.Params.SendRec, res.Params.AvgMsgLen, res.Params.AvgActive)
+	fmt.Printf("active:    %s (processors communicating per iteration)\n", metrics.FormatProfile(res.ActiveProfile))
+	fmt.Printf("events:    %s\n", res.Trace.Summary())
+	if *hot > 0 {
+		fmt.Println("hottest links (node→direction, occupancy, transfers):")
+		for _, h := range res.HotLinks {
+			if *hot == 0 {
+				break
+			}
+			*hot--
+			fmt.Printf("  %-12v %10.3f ms %6d transfers\n", h.Link, h.Busy.Milliseconds(), h.Transfers)
+		}
+	}
+	if *heat {
+		if mesh, ok := m.Topo.(*topology.Mesh2D); ok {
+			loads := make([]network.Time, len(res.NodeLoad))
+			for i, v := range res.NodeLoad {
+				loads[i] = network.Time(v)
+			}
+			fmt.Printf("link-load heatmap (' ' idle … '@' hottest):\n%s", viz.Heatmap(mesh, loads))
+		} else {
+			fmt.Println("heatmap: only available for mesh machines")
+		}
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := res.Trace.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace:     %d events written to %s\n", len(res.Trace.Events), *jsonOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stptrace:", err)
+	os.Exit(1)
+}

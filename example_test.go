@@ -1,0 +1,82 @@
+package stpbcast_test
+
+import (
+	"fmt"
+
+	stpbcast "repro"
+)
+
+// ExampleSimulate runs one s-to-p broadcast on the simulated 10×10
+// Paragon and reports structural facts of the run (which are exact and
+// deterministic; timings are too, but depend on the cost calibration).
+func ExampleSimulate() {
+	m := stpbcast.NewParagon(10, 10)
+	res, err := stpbcast.Simulate(m, stpbcast.Config{
+		Algorithm:    "Br_xy_source",
+		Distribution: "E",
+		Sources:      30,
+		MsgBytes:     4096,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("iterations: %d\n", len(res.ActiveProfile))
+	fmt.Printf("congestion: %d\n", res.Params.Congestion)
+	fmt.Printf("all active at peak: %v\n", maxOf(res.ActiveProfile) == m.P())
+	// Output:
+	// iterations: 8
+	// congestion: 3
+	// all active at peak: true
+}
+
+// ExampleRunLive moves real bytes through the goroutine engine and shows
+// that the far corner processor received every source's payload.
+func ExampleRunLive() {
+	m := stpbcast.NewParagon(4, 4)
+	res, err := stpbcast.RunLive(m, stpbcast.Config{
+		Algorithm:    "Br_Lin",
+		Distribution: "Dr",
+		Sources:      4,
+	}, func(rank int) []byte {
+		return []byte(fmt.Sprintf("msg-%d", rank))
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	corner := res.Bundles[15]
+	fmt.Printf("messages at corner: %d\n", len(corner))
+	fmt.Printf("first source's payload: %s\n", corner[0])
+	// Output:
+	// messages at corner: 4
+	// first source's payload: msg-0
+}
+
+// ExampleDistributionByName draws a distribution the way the paper's
+// Figure 1 does.
+func ExampleDistributionByName() {
+	d, err := stpbcast.DistributionByName("Dr")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sources, err := d.Sources(4, 4, 4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(sources)
+	// Output:
+	// [0 5 10 15]
+}
+
+func maxOf(v []int) int {
+	m := 0
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,110 @@
+// Dynamic broadcasting (the paper's motivating scenario from Varvarigos &
+// Bertsekas): an iterative computation in which, each round, the
+// processors whose local value changed significantly must broadcast their
+// update to everyone before the next round can start.
+//
+// We run a damped averaging iteration on a 16×16 simulated Paragon. Each
+// round, the set of "dirty" processors (those whose value moved more than
+// a threshold) becomes the source set of an s-to-p broadcast. The example
+// compares the cumulative communication time of three strategies across
+// the whole run — the library baseline, the message-combining algorithm,
+// and the repositioning algorithm — showing why the choice matters when
+// the source set shrinks and shifts round by round.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sort"
+
+	stpbcast "repro"
+)
+
+const (
+	rows, cols = 16, 16
+	p          = rows * cols
+	msgBytes   = 2048
+	threshold  = 0.02
+	maxRounds  = 12
+)
+
+func main() {
+	// The dirty sets are produced by the computation itself and are the
+	// same for every broadcast strategy; generate them once.
+	dirtySets := simulateComputation()
+	fmt.Printf("damped averaging on a %d×%d Paragon: %d rounds\n", rows, cols, len(dirtySets))
+	for i, set := range dirtySets {
+		fmt.Printf("  round %2d: %3d dirty processors\n", i, len(set))
+	}
+	fmt.Println()
+
+	for _, alg := range []string{"2-Step", "Br_xy_source", "Repos_xy_source"} {
+		total := 0.0
+		for _, sources := range dirtySets {
+			res, err := stpbcast.Simulate(stpbcast.NewParagon(rows, cols), stpbcast.Config{
+				Algorithm:   alg,
+				SourceRanks: sources,
+				MsgBytes:    msgBytes,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += float64(res.Elapsed.Nanoseconds()) / 1e6
+		}
+		fmt.Printf("%-16s cumulative broadcast time: %8.2f ms\n", alg, total)
+	}
+	fmt.Println("\nthe message-combining algorithms amortize the shrinking, drifting")
+	fmt.Println("source sets; the gather-at-P0 baseline pays the hot spot every round")
+}
+
+// simulateComputation runs the damped averaging and returns the dirty
+// source set of each round (sorted ranks). The values start from a seeded
+// random field with a hot corner, so early rounds have many dirty
+// processors and later rounds progressively fewer — the dynamic
+// broadcasting pattern the paper describes.
+func simulateComputation() [][]int {
+	rng := rand.New(rand.NewSource(42))
+	values := make([]float64, p)
+	for i := range values {
+		values[i] = rng.Float64()
+	}
+	// A hot corner drives larger updates in one region, so the dirty
+	// sets are spatially clustered — a difficult distribution shape.
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 6; c++ {
+			values[r*cols+c] += 3
+		}
+	}
+	var sets [][]int
+	for round := 0; round < maxRounds; round++ {
+		next := make([]float64, p)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				sum, n := values[r*cols+c], 1.0
+				for _, d := range [][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+					nr, nc := r+d[0], c+d[1]
+					if nr >= 0 && nr < rows && nc >= 0 && nc < cols {
+						sum += values[nr*cols+nc]
+						n++
+					}
+				}
+				next[r*cols+c] = 0.5*values[r*cols+c] + 0.5*sum/n
+			}
+		}
+		var dirty []int
+		for i := range values {
+			if math.Abs(next[i]-values[i]) > threshold {
+				dirty = append(dirty, i)
+			}
+		}
+		values = next
+		if len(dirty) == 0 {
+			break
+		}
+		sort.Ints(dirty)
+		sets = append(sets, dirty)
+	}
+	return sets
+}

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/machine"
+)
+
+// TestProbeFig3 prints the Figure-3 sweep (10×10 Paragon, E(s), L=4K) for
+// calibration inspection with -v. Shape assertions live in figures_test.go.
+func TestProbeFig3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	algs := []struct {
+		label string
+		alg   core.Algorithm
+		mpi   bool
+	}{
+		{"Br_Lin", core.BrLin(), false},
+		{"Br_xy_source", core.BrXYSource(), false},
+		{"Br_xy_dim", core.BrXYDim(), false},
+		{"2-Step", core.TwoStep(), false},
+		{"PersAlltoAll", core.PersAlltoAll(), false},
+		{"MPI_AllGather", core.TwoStep(), true},
+		{"MPI_Alltoall", core.PersAlltoAll(), true},
+	}
+	fmt.Printf("%-14s", "s")
+	for _, a := range algs {
+		fmt.Printf("%15s", a.label)
+	}
+	fmt.Println()
+	for _, s := range []int{1, 10, 30, 50, 70, 100} {
+		fmt.Printf("%-14d", s)
+		for _, a := range algs {
+			m := machine.Paragon(10, 10)
+			if a.mpi {
+				m = machine.ParagonMPI(10, 10)
+			}
+			spec, err := SpecFor(m, dist.Equal(), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms, err := MustMillis(m, a.alg, spec, 4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Printf("%15.2f", ms)
+		}
+		fmt.Println()
+	}
+}
+
+// TestProbeFig13 prints the T3D comparison (p=128, L=4K, E(s)).
+func TestProbeFig13(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	algs := []struct {
+		label string
+		alg   core.Algorithm
+	}{
+		{"MPI_AllGather", core.TwoStep()},
+		{"MPI_Alltoall", core.PersAlltoAll()},
+		{"Br_Lin", core.BrLin()},
+	}
+	fmt.Printf("%-14s", "s")
+	for _, a := range algs {
+		fmt.Printf("%15s", a.label)
+	}
+	fmt.Println()
+	for _, s := range []int{5, 10, 20, 40, 64, 96, 128} {
+		fmt.Printf("%-14d", s)
+		for _, a := range algs {
+			m := machine.T3D(128)
+			spec, err := SpecFor(m, dist.Equal(), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms, err := MustMillis(m, a.alg, spec, 4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Printf("%15.2f", ms)
+		}
+		fmt.Println()
+	}
+}
+
+// TestProbeFig6 prints the distribution sweep (10×10 Paragon, L=2K, s=30).
+func TestProbeFig6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	algs := []struct {
+		label string
+		alg   core.Algorithm
+	}{
+		{"Br_Lin", core.BrLin()},
+		{"Br_xy_source", core.BrXYSource()},
+		{"Br_xy_dim", core.BrXYDim()},
+	}
+	fmt.Printf("%-6s", "dist")
+	for _, a := range algs {
+		fmt.Printf("%15s", a.label)
+	}
+	fmt.Println()
+	for _, d := range dist.All() {
+		fmt.Printf("%-6s", d.Name())
+		for _, a := range algs {
+			m := machine.Paragon(10, 10)
+			spec, err := SpecFor(m, d, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms, err := MustMillis(m, a.alg, spec, 2048)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Printf("%15.2f", ms)
+		}
+		fmt.Println()
+	}
+}

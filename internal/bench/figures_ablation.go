@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+// The ablation experiments probe the design choices DESIGN.md calls out,
+// beyond the paper's own figures: the partitioning-vs-repositioning claim
+// of Section 5.2, snake vs row-major indexing for Br_Lin, wormhole vs
+// store-and-forward switching, the T3D's randomized placement, and the
+// paper's left-diagonal ideal versus the machine-exact halving ideal.
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-part",
+		Title: "16×16 Paragon, L=6K, Sq(s): Br_xy_source vs Repos_xy_source vs Part_xy_source",
+		Paper: "Section 5.2: partitioning hardly ever beats repositioning alone — the final inter-half permutation of large bundles dominates.",
+		Run:   runAblationPart,
+	})
+	register(Experiment{
+		ID:    "ablation-indexing",
+		Title: "10×10 Paragon, L=2K, s=30: Br_Lin with snake vs row-major indexing",
+		Paper: "Beyond the paper: the snake order keeps halving partners physically close; row-major pays longer routes.",
+		Run:   runAblationIndexing,
+	})
+	register(Experiment{
+		ID:    "ablation-switching",
+		Title: "10×10 Paragon, E(30): wormhole vs store-and-forward pricing",
+		Paper: "Beyond the paper: validates that the wormhole model, not store-and-forward, is what the algorithms' locality assumptions rely on.",
+		Run:   runAblationSwitching,
+	})
+	register(Experiment{
+		ID:    "ablation-placement",
+		Title: "T3D p=128, L=4K, E(s): identity vs randomized virtual→physical placement",
+		Paper: "Beyond the paper: quantifies how much the T3D's uncontrollable placement costs topology-aware Br_Lin.",
+		Run:   runAblationPlacement,
+	})
+	register(Experiment{
+		ID:    "ablation-ideal",
+		Title: "16×16 Paragon, L=6K, Sq(s): Repos_Lin targets — paper's left diagonal vs machine-exact halving ideal",
+		Paper: "Beyond the paper: the left diagonal is near-ideal for Br_Lin; the halving-derived placement is the exact optimum of the growth objective.",
+		Run:   runAblationIdeal,
+	})
+}
+
+func runAblationPart() (*Series, error) {
+	algs := []struct {
+		label string
+		alg   core.Algorithm
+	}{
+		{"Br_xy_source", core.BrXYSource()},
+		{"Repos_xy_source", core.ReposXYSource()},
+		{"Part_xy_source", core.PartXYSource()},
+	}
+	order := make([]string, len(algs))
+	for i, a := range algs {
+		order[i] = a.label
+	}
+	s := NewSeries("Ablation — partitioning vs repositioning (16×16, L=6K, Sq(s))", "sources", "ms", order...)
+	for _, sv := range []int{16, 32, 64, 96, 128} {
+		vals := make([]float64, len(algs))
+		for j, a := range algs {
+			m := machine.Paragon(16, 16)
+			spec, err := SpecFor(m, dist.Square(), sv)
+			if err != nil {
+				return nil, err
+			}
+			v, err := MustMillis(m, a.alg, spec, 6*1024)
+			if err != nil {
+				return nil, err
+			}
+			vals[j] = v
+		}
+		s.AddX(fmt.Sprintf("%d", sv), vals...)
+	}
+	return s, nil
+}
+
+func runAblationIndexing() (*Series, error) {
+	s := NewSeries("Ablation — Br_Lin indexing (10×10, L=2K, s=30)", "distribution", "ms", "snake", "row-major")
+	for _, d := range dist.All() {
+		m := machine.Paragon(10, 10)
+		sources, err := d.Sources(10, 10, 30)
+		if err != nil {
+			return nil, err
+		}
+		snake := core.Spec{Rows: 10, Cols: 10, Sources: sources, Indexing: topology.SnakeRowMajor}
+		rowMajor := core.Spec{Rows: 10, Cols: 10, Sources: sources, Indexing: topology.RowMajor}
+		a, err := MustMillis(m, core.BrLin(), snake, 2048)
+		if err != nil {
+			return nil, err
+		}
+		b, err := MustMillis(m, core.BrLin(), rowMajor, 2048)
+		if err != nil {
+			return nil, err
+		}
+		s.AddX(d.Name(), a, b)
+	}
+	return s, nil
+}
+
+func runAblationSwitching() (*Series, error) {
+	algs := []struct {
+		label string
+		alg   core.Algorithm
+	}{
+		{"Br_Lin", core.BrLin()},
+		{"2-Step", core.TwoStep()},
+		{"PersAlltoAll", core.PersAlltoAll()},
+	}
+	order := []string{}
+	for _, a := range algs {
+		order = append(order, a.label+"/wh", a.label+"/sf")
+	}
+	s := NewSeries("Ablation — switching model (10×10, E(s), L=4K)", "sources", "ms", order...)
+	for _, sv := range []int{10, 30, 60, 100} {
+		vals := make([]float64, 0, len(order))
+		for _, a := range algs {
+			for _, sw := range []network.Model{network.Wormhole, network.StoreAndForward} {
+				m := machine.Paragon(10, 10)
+				m.Cfg.Switching = sw
+				spec, err := SpecFor(m, dist.Equal(), sv)
+				if err != nil {
+					return nil, err
+				}
+				v, err := MustMillis(m, a.alg, spec, 4096)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, v)
+			}
+		}
+		s.AddX(fmt.Sprintf("%d", sv), vals...)
+	}
+	return s, nil
+}
+
+func runAblationPlacement() (*Series, error) {
+	s := NewSeries("Ablation — T3D placement (p=128, L=4K, E(s), Br_Lin)", "sources", "ms", "dimension-ordered", "random")
+	for _, sv := range []int{10, 40, 96, 128} {
+		ordered := machine.T3D(128)
+		random := machine.T3DRandom(128, 1)
+		var vals []float64
+		for _, m := range []*machine.Machine{ordered, random} {
+			spec, err := SpecFor(m, dist.Equal(), sv)
+			if err != nil {
+				return nil, err
+			}
+			v, err := MustMillis(m, core.BrLin(), spec, 4096)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+		}
+		s.AddX(fmt.Sprintf("%d", sv), vals...)
+	}
+	return s, nil
+}
+
+// reposTo runs Br_Lin after repositioning the sources to the target
+// distribution — the generalized Repos_Lin used by the ideal-target
+// ablation.
+func reposTo(m *machine.Machine, from, to dist.Distribution, s, msgLen int) (float64, error) {
+	spec, err := SpecFor(m, from, s)
+	if err != nil {
+		return 0, err
+	}
+	ideal, err := to.Sources(m.Rows, m.Cols, s)
+	if err != nil {
+		return 0, err
+	}
+	alg := core.ReposTo(core.BrLin(), ideal)
+	return MustMillis(m, alg, spec, msgLen)
+}
+
+func runAblationIdeal() (*Series, error) {
+	s := NewSeries("Ablation — Repos_Lin target (16×16, L=6K, Sq(s))", "sources", "ms", "Dl target", "IdealSnake target", "no repositioning")
+	for _, sv := range []int{16, 48, 96, 160} {
+		m := machine.Paragon(16, 16)
+		dl, err := reposTo(m, dist.Square(), dist.DiagLeft(), sv, 6*1024)
+		if err != nil {
+			return nil, err
+		}
+		exact, err := reposTo(m, dist.Square(), dist.IdealSnake(), sv, 6*1024)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := SpecFor(m, dist.Square(), sv)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := MustMillis(m, core.BrLin(), spec, 6*1024)
+		if err != nil {
+			return nil, err
+		}
+		s.AddX(fmt.Sprintf("%d", sv), dl, exact, plain)
+	}
+	return s, nil
+}

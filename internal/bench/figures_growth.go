@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig2-growth",
+		Title: "16×16 Paragon, Br_Lin, L=1K: active processors per iteration for E(64) vs E(60)",
+		Paper: "Figure 2 discussion: for s = 2^l the first iterations do not increase the number of active processors, they only grow the message length; for s ≠ 2^l the active set grows faster and messages stay smaller. 'The behavior for s = 2^l occurs for other distributions and algorithms and generally results in poor performance.'",
+		Run:   runFig2Growth,
+	})
+}
+
+func runFig2Growth() (*Series, error) {
+	s := NewSeries("Figure 2 growth — Br_Lin active processors per iteration (16×16, E(s), L=1K)",
+		"iteration", "active processors", "E(64)", "E(60)")
+	profiles := make(map[string][]int, 2)
+	for _, sv := range []int{64, 60} {
+		m := machine.Paragon(16, 16)
+		spec, err := SpecFor(m, dist.Equal(), sv)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Measure(m, core.BrLin(), spec, 1024)
+		if err != nil {
+			return nil, err
+		}
+		profiles[fmt.Sprintf("E(%d)", sv)] = metrics.ActiveProfile(res)
+	}
+	n := len(profiles["E(64)"])
+	if len(profiles["E(60)"]) > n {
+		n = len(profiles["E(60)"])
+	}
+	at := func(p []int, i int) float64 {
+		if i < len(p) {
+			return float64(p[i])
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		s.AddX(fmt.Sprintf("%d", i+1), at(profiles["E(64)"], i), at(profiles["E(60)"], i))
+	}
+	return s, nil
+}

@@ -1,0 +1,365 @@
+package collective
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/live"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// runBoth executes fn on both engines with p processors and returns the
+// per-rank results from each, so tests verify engine-independent
+// semantics.
+func runBoth(t *testing.T, p int, fn func(c comm.Comm) comm.Message) (simOut, liveOut []comm.Message) {
+	t.Helper()
+	simOut = make([]comm.Message, p)
+	liveOut = make([]comm.Message, p)
+	topo := topology.MustMesh2D(1, p)
+	nw, err := network.New(topo, topology.IdentityPlacement(p), network.ParagonNX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(nw, func(pr *sim.Proc) { simOut[pr.Rank()] = fn(pr) }, sim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.Run(p, func(pr *live.Proc) { liveOut[pr.Rank()] = fn(pr) }); err != nil {
+		t.Fatal(err)
+	}
+	return simOut, liveOut
+}
+
+// mkMsg builds a one-part bundle whose payload encodes the origin.
+func mkMsg(origin, size int) comm.Message {
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(origin)
+	}
+	return comm.Message{Parts: []comm.Part{{Origin: origin, Data: data}}}
+}
+
+// wantOrigins asserts that every rank's bundle carries exactly the given
+// origins (in any order) with intact payloads.
+func wantOrigins(t *testing.T, label string, out []comm.Message, origins []int) {
+	t.Helper()
+	for rank, m := range out {
+		got := m.Origins()
+		want := append([]int(nil), origins...)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: rank %d origins = %v, want %v", label, rank, got, want)
+		}
+		for _, part := range m.Parts {
+			for _, b := range part.Data {
+				if b != byte(part.Origin) {
+					t.Fatalf("%s: rank %d payload of origin %d corrupted", label, rank, part.Origin)
+				}
+			}
+		}
+	}
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 7, 8, 16, 17} {
+		roots := []int{0, p / 2, p - 1}
+		for _, root := range roots {
+			s, l := runBoth(t, p, func(c comm.Comm) comm.Message {
+				var m comm.Message
+				if c.Rank() == root {
+					m = mkMsg(root, 64)
+				}
+				return Bcast(c, root, m)
+			})
+			label := fmt.Sprintf("Bcast p=%d root=%d", p, root)
+			wantOrigins(t, label+" (sim)", s, []int{root})
+			wantOrigins(t, label+" (live)", l, []int{root})
+		}
+	}
+}
+
+func TestGatherCollectsInSourceOrder(t *testing.T) {
+	p := 10
+	sources := []int{1, 4, 7, 9}
+	s, l := runBoth(t, p, func(c comm.Comm) comm.Message {
+		var m comm.Message
+		for _, src := range sources {
+			if src == c.Rank() {
+				m = mkMsg(src, 32)
+			}
+		}
+		return Gather(c, 0, sources, m)
+	})
+	for _, out := range [][]comm.Message{s, l} {
+		root := out[0]
+		if len(root.Parts) != len(sources) {
+			t.Fatalf("root has %d parts", len(root.Parts))
+		}
+		for i, part := range root.Parts {
+			if part.Origin != sources[i] {
+				t.Fatalf("root part %d origin %d, want %d", i, part.Origin, sources[i])
+			}
+		}
+		for rank := 1; rank < p; rank++ {
+			if len(out[rank].Parts) != 0 {
+				t.Fatalf("non-root rank %d kept parts", rank)
+			}
+		}
+	}
+}
+
+func TestGatherRootAsSource(t *testing.T) {
+	sources := []int{0, 2}
+	s, _ := runBoth(t, 4, func(c comm.Comm) comm.Message {
+		var m comm.Message
+		if c.Rank() == 0 || c.Rank() == 2 {
+			m = mkMsg(c.Rank(), 16)
+		}
+		return Gather(c, 0, sources, m)
+	})
+	if got := s[0].Origins(); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("root origins = %v", got)
+	}
+}
+
+func TestAlltoallPersonalizedPow2AndNot(t *testing.T) {
+	for _, p := range []int{2, 4, 8, 16, 3, 5, 10, 12} {
+		sources := []int{0, p / 2}
+		if p/2 == 0 {
+			sources = []int{0}
+		}
+		s, l := runBoth(t, p, func(c comm.Comm) comm.Message {
+			var m comm.Message
+			for _, src := range sources {
+				if src == c.Rank() {
+					m = mkMsg(src, 48)
+				}
+			}
+			return AlltoallPersonalized(c, sources, m)
+		})
+		label := fmt.Sprintf("Alltoall p=%d", p)
+		wantOrigins(t, label+" (sim)", s, sources)
+		wantOrigins(t, label+" (live)", l, sources)
+	}
+}
+
+func TestAlltoallAllSources(t *testing.T) {
+	p := 6
+	sources := []int{0, 1, 2, 3, 4, 5}
+	s, l := runBoth(t, p, func(c comm.Comm) comm.Message {
+		return AlltoallPersonalized(c, sources, mkMsg(c.Rank(), 8))
+	})
+	wantOrigins(t, "Alltoall full (sim)", s, sources)
+	wantOrigins(t, "Alltoall full (live)", l, sources)
+}
+
+func TestAllgatherRing(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8, 13} {
+		s, l := runBoth(t, p, func(c comm.Comm) comm.Message {
+			return AllgatherRing(c, mkMsg(c.Rank(), 24))
+		})
+		all := make([]int, p)
+		for i := range all {
+			all[i] = i
+		}
+		label := fmt.Sprintf("AllgatherRing p=%d", p)
+		wantOrigins(t, label+" (sim)", s, all)
+		wantOrigins(t, label+" (live)", l, all)
+		// Rank order of the concatenation is part of the contract.
+		for _, out := range [][]comm.Message{s, l} {
+			for rank := 0; rank < p; rank++ {
+				for i, part := range out[rank].Parts {
+					if part.Origin != i {
+						t.Fatalf("%s: rank %d parts out of order: %v", label, rank, out[rank].Origins())
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllgatherRingSparseSources(t *testing.T) {
+	// Processors without data contribute empty bundles; everyone still
+	// ends with exactly the source parts.
+	p := 9
+	sources := []int{2, 6}
+	s, l := runBoth(t, p, func(c comm.Comm) comm.Message {
+		var m comm.Message
+		if c.Rank() == 2 || c.Rank() == 6 {
+			m = mkMsg(c.Rank(), 40)
+		}
+		return AllgatherRing(c, m)
+	})
+	wantOrigins(t, "AllgatherRing sparse (sim)", s, sources)
+	wantOrigins(t, "AllgatherRing sparse (live)", l, sources)
+}
+
+func TestScatter(t *testing.T) {
+	p := 7
+	s, l := runBoth(t, p, func(c comm.Comm) comm.Message {
+		var bundles []comm.Message
+		if c.Rank() == 3 {
+			bundles = make([]comm.Message, p)
+			for i := range bundles {
+				bundles[i] = mkMsg(i, 16)
+			}
+		}
+		return Scatter(c, 3, bundles)
+	})
+	for _, out := range [][]comm.Message{s, l} {
+		for rank := 0; rank < p; rank++ {
+			if len(out[rank].Parts) != 1 || out[rank].Parts[0].Origin != rank {
+				t.Fatalf("rank %d scatter result %v", rank, out[rank])
+			}
+		}
+	}
+}
+
+func TestBcastBinomialDepth(t *testing.T) {
+	// The root must send at most ⌈log2 p⌉ messages and the makespan must
+	// reflect a logarithmic tree, not a linear chain.
+	p := 16
+	topo := topology.MustMesh2D(1, p)
+	nw, err := network.New(topo, topology.IdentityPlacement(p), network.ParagonNX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(nw, func(pr *sim.Proc) {
+		var m comm.Message
+		if pr.Rank() == 0 {
+			m = mkMsg(0, 128)
+		}
+		Bcast(pr, 0, m)
+	}, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Procs[0].Sends != 4 {
+		t.Fatalf("root sent %d messages, want 4 for p=16", res.Procs[0].Sends)
+	}
+	for rank := 1; rank < p; rank++ {
+		if res.Procs[rank].Recvs != 1 {
+			t.Fatalf("rank %d received %d messages", rank, res.Procs[rank].Recvs)
+		}
+	}
+}
+
+func TestAllgatherRecDoublingPow2(t *testing.T) {
+	for _, p := range []int{2, 4, 8, 16} {
+		sources := []int{0, p - 1}
+		s, l := runBoth(t, p, func(c comm.Comm) comm.Message {
+			var m comm.Message
+			for _, src := range sources {
+				if src == c.Rank() {
+					m = mkMsg(src, 64)
+				}
+			}
+			return AllgatherRecDoubling(c, sources, m)
+		})
+		label := fmt.Sprintf("RecDoubling p=%d", p)
+		wantOrigins(t, label+" (sim)", s, sources)
+		wantOrigins(t, label+" (live)", l, sources)
+	}
+}
+
+func TestAllgatherRecDoublingAllSources(t *testing.T) {
+	p := 8
+	all := make([]int, p)
+	for i := range all {
+		all[i] = i
+	}
+	s, l := runBoth(t, p, func(c comm.Comm) comm.Message {
+		return AllgatherRecDoubling(c, all, mkMsg(c.Rank(), 16))
+	})
+	wantOrigins(t, "RecDoubling full (sim)", s, all)
+	wantOrigins(t, "RecDoubling full (live)", l, all)
+}
+
+func TestAllgatherRecDoublingNonPow2FallsBack(t *testing.T) {
+	p := 6
+	sources := []int{1, 4}
+	s, l := runBoth(t, p, func(c comm.Comm) comm.Message {
+		var m comm.Message
+		for _, src := range sources {
+			if src == c.Rank() {
+				m = mkMsg(src, 32)
+			}
+		}
+		return AllgatherRecDoubling(c, sources, m)
+	})
+	wantOrigins(t, "RecDoubling non-pow2 (sim)", s, sources)
+	wantOrigins(t, "RecDoubling non-pow2 (live)", l, sources)
+}
+
+func TestAllgatherRecDoublingSkipsEmptyExchanges(t *testing.T) {
+	// With a single source on a 16-processor machine, round k only
+	// involves processors whose group already holds the message: total
+	// sends are 1+2+4+8 = 15, not 16·4.
+	p := 16
+	topo := topology.MustMesh2D(1, p)
+	nw, err := network.New(topo, topology.IdentityPlacement(p), network.ParagonNX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(nw, func(pr *sim.Proc) {
+		var m comm.Message
+		if pr.Rank() == 5 {
+			m = mkMsg(5, 64)
+		}
+		AllgatherRecDoubling(pr, []int{5}, m)
+	}, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, ps := range res.Procs {
+		total += ps.Sends
+	}
+	if total != 15 {
+		t.Fatalf("single-source rec-doubling sent %d messages, want 15", total)
+	}
+}
+
+func TestCircularShift(t *testing.T) {
+	p := 7
+	for _, k := range []int{0, 1, 3, -2, 7, 10} {
+		s, l := runBoth(t, p, func(c comm.Comm) comm.Message {
+			return CircularShift(c, k, mkMsg(c.Rank(), 8))
+		})
+		for _, out := range [][]comm.Message{s, l} {
+			for rank := 0; rank < p; rank++ {
+				want := ((rank-k)%p + p) % p
+				if got := out[rank].Parts[0].Origin; got != want {
+					t.Fatalf("shift k=%d: rank %d got origin %d, want %d", k, rank, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	n := 4
+	s, l := runBoth(t, n*n, func(c comm.Comm) comm.Message {
+		return Transpose(c, n, mkMsg(c.Rank(), 8))
+	})
+	for _, out := range [][]comm.Message{s, l} {
+		for rank := 0; rank < n*n; rank++ {
+			i, j := rank/n, rank%n
+			want := j*n + i
+			if got := out[rank].Parts[0].Origin; got != want {
+				t.Fatalf("transpose: rank (%d,%d) got origin %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestTransposeRejectsNonSquare(t *testing.T) {
+	_, err := live.Run(6, func(pr *live.Proc) {
+		Transpose(pr, 2, comm.Message{})
+	})
+	if err == nil {
+		t.Fatal("non-square transpose accepted")
+	}
+}

@@ -1,0 +1,133 @@
+// Package comm defines the message-passing interface the s-to-p
+// broadcasting algorithms are written against. Two engines implement it:
+// internal/sim (deterministic discrete-event simulation with the network
+// cost model — produces the paper's figures) and internal/live (real
+// goroutines and channels moving real bytes — proves functional
+// correctness). Algorithm code is engine-agnostic.
+//
+// The interface mirrors the blocking NX/MPI primitives the paper's
+// implementations used: matched blocking Send/Recv with FIFO ordering per
+// (sender, receiver) pair, plus a Barrier. There is no wildcard receive;
+// every algorithm in the paper knows exactly whom it talks to, because all
+// processors know the source positions when broadcasting starts (Section 1).
+package comm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Part is one original broadcast message inside a (possibly combined)
+// bundle: the rank that initiated it and its payload.
+type Part struct {
+	Origin int
+	Data   []byte
+}
+
+// Message is what travels between processors: one or more Parts. The
+// message-combining algorithms (Br_*) merge messages whenever two meet at
+// a processor, so a Message late in a run carries many Parts. Parts hold
+// slice references; combining never copies payload bytes in the simulator
+// (the copy cost is charged by the engine instead), while the live engine
+// moves real bytes end to end.
+type Message struct {
+	// Tag labels the protocol step for traces; matching ignores it.
+	Tag int
+	// Parts are the bundled original messages.
+	Parts []Part
+}
+
+// Len returns the payload size of the message in bytes, the quantity the
+// cost model prices.
+func (m Message) Len() int {
+	n := 0
+	for _, p := range m.Parts {
+		n += len(p.Data)
+	}
+	return n
+}
+
+// Origins returns the sorted ranks whose original messages the bundle
+// carries.
+func (m Message) Origins() []int {
+	out := make([]int, len(m.Parts))
+	for i, p := range m.Parts {
+		out[i] = p.Origin
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Append returns m with the parts of other appended. It does not
+// deduplicate; the algorithms never deliver the same origin twice to the
+// same processor (tests assert this).
+func (m Message) Append(other Message) Message {
+	m.Parts = append(m.Parts, other.Parts...)
+	return m
+}
+
+// String summarizes the message for traces and test failures.
+func (m Message) String() string {
+	return fmt.Sprintf("msg{tag=%d parts=%d bytes=%d}", m.Tag, len(m.Parts), m.Len())
+}
+
+// Comm is one processor's handle onto the machine. All methods are called
+// from that processor's own goroutine only.
+type Comm interface {
+	// Rank returns this processor's logical rank in [0, Size()).
+	Rank() int
+	// Size returns the number of processors p.
+	Size() int
+	// Send transfers a message to dst. It blocks for the local software
+	// cost of issuing the send (buffer copy), not for delivery — the
+	// semantics of NX csend with a buffered message.
+	Send(dst int, m Message)
+	// Recv blocks until the next message from src arrives and returns it.
+	// Messages between a fixed (src, dst) pair arrive in send order.
+	Recv(src int) Message
+	// Barrier blocks until every processor has entered the barrier.
+	Barrier()
+}
+
+// Clock is implemented by engines that track per-processor virtual time.
+// Algorithms charge local computation (message combining) through it.
+type Clock interface {
+	// AdvanceCombine charges the local cost of merging n received bytes
+	// into the accumulated broadcast bundle.
+	AdvanceCombine(n int)
+}
+
+// IterMarker is implemented by engines that attribute activity to
+// algorithm iterations (for the paper's Figure-2 parameters: congestion,
+// av_msg_lgth, av_act_proc are per-iteration quantities).
+type IterMarker interface {
+	// BeginIter marks the start of iteration i on this processor.
+	BeginIter(i int)
+}
+
+// ChargeCombine charges message-combining cost if the engine meters it.
+// On the live engine the combining is real work and needs no charge.
+func ChargeCombine(c Comm, n int) {
+	if cl, ok := c.(Clock); ok {
+		cl.AdvanceCombine(n)
+	}
+}
+
+// MarkIter marks an iteration boundary if the engine records iterations.
+func MarkIter(c Comm, i int) {
+	if m, ok := c.(IterMarker); ok {
+		m.BeginIter(i)
+	}
+}
+
+// Exchange performs the paper's pairwise step: send our bundle to peer and
+// receive theirs, in a deadlock-free order (lower rank sends first; the
+// engines' sends are buffered, so either order is safe, but a fixed order
+// keeps the simulation deterministic and mirrors the NX implementations).
+func Exchange(c Comm, peer int, m Message) Message {
+	if peer == c.Rank() {
+		panic(fmt.Sprintf("comm: rank %d exchanging with itself", peer))
+	}
+	c.Send(peer, m)
+	return c.Recv(peer)
+}

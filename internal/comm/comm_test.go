@@ -1,0 +1,149 @@
+package comm_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/live"
+)
+
+func TestMessageLenAndOrigins(t *testing.T) {
+	m := comm.Message{Parts: []comm.Part{
+		{Origin: 5, Data: make([]byte, 10)},
+		{Origin: 2, Data: make([]byte, 7)},
+	}}
+	if m.Len() != 17 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	if got := m.Origins(); !reflect.DeepEqual(got, []int{2, 5}) {
+		t.Errorf("Origins = %v", got)
+	}
+	var empty comm.Message
+	if empty.Len() != 0 || len(empty.Origins()) != 0 {
+		t.Error("empty message not empty")
+	}
+}
+
+func TestMessageAppend(t *testing.T) {
+	a := comm.Message{Tag: 1, Parts: []comm.Part{{Origin: 0, Data: []byte{1}}}}
+	b := comm.Message{Tag: 2, Parts: []comm.Part{{Origin: 3, Data: []byte{2, 3}}}}
+	c := a.Append(b)
+	if c.Tag != 1 {
+		t.Errorf("Append changed tag to %d", c.Tag)
+	}
+	if got := c.Origins(); !reflect.DeepEqual(got, []int{0, 3}) {
+		t.Errorf("Append origins = %v", got)
+	}
+	if c.Len() != 3 {
+		t.Errorf("Append len = %d", c.Len())
+	}
+}
+
+func TestChargeCombineAndMarkIterNoOpOnPlainComm(t *testing.T) {
+	// The live engine implements neither Clock nor IterMarker; the
+	// helpers must be safe no-ops there.
+	_, err := live.Run(2, func(p *live.Proc) {
+		comm.ChargeCombine(p, 100)
+		comm.MarkIter(p, 3)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubCommTranslation(t *testing.T) {
+	members := []int{1, 3, 4}
+	results := make([]string, 6)
+	_, err := live.Run(6, func(p *live.Proc) {
+		in := false
+		for _, m := range members {
+			if m == p.Rank() {
+				in = true
+			}
+		}
+		if !in {
+			return
+		}
+		sub, err := comm.NewSub(p, members)
+		if err != nil {
+			t.Errorf("rank %d: %v", p.Rank(), err)
+			return
+		}
+		if sub.Size() != 3 {
+			t.Errorf("sub size %d", sub.Size())
+		}
+		// Ring of subgroup members through local ranks.
+		next := (sub.Rank() + 1) % 3
+		prev := (sub.Rank() + 2) % 3
+		sub.Send(next, comm.Message{Parts: []comm.Part{{Origin: p.Rank(), Data: []byte{byte(p.Rank())}}}})
+		m := sub.Recv(prev)
+		results[p.Rank()] = string(m.Parts[0].Data)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Member 3 (local 1) receives from member 1 (local 0), etc.
+	if results[3] != string([]byte{1}) || results[4] != string([]byte{3}) || results[1] != string([]byte{4}) {
+		t.Fatalf("ring payloads: %q %q %q", results[1], results[3], results[4])
+	}
+}
+
+func TestSubCommBarrier(t *testing.T) {
+	members := []int{0, 2, 3, 5, 6}
+	_, err := live.Run(8, func(p *live.Proc) {
+		for _, m := range members {
+			if m == p.Rank() {
+				sub, err := comm.NewSub(p, members)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < 5; i++ {
+					sub.Barrier()
+				}
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewSubRejectsBadMembers(t *testing.T) {
+	_, err := live.Run(4, func(p *live.Proc) {
+		if p.Rank() != 0 {
+			return
+		}
+		if _, err := comm.NewSub(p, []int{2, 1}); err == nil {
+			t.Error("unsorted members accepted")
+		}
+		if _, err := comm.NewSub(p, []int{1, 1, 2}); err == nil {
+			t.Error("duplicate members accepted")
+		}
+		if _, err := comm.NewSub(p, []int{0, 9}); err == nil {
+			t.Error("out-of-range member accepted")
+		}
+		if _, err := comm.NewSub(p, []int{1, 2}); err == nil {
+			t.Error("non-member caller accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangePanicsOnSelf(t *testing.T) {
+	_, err := live.Run(2, func(p *live.Proc) {
+		if p.Rank() == 0 {
+			comm.Exchange(p, 0, comm.Message{})
+		} else {
+			// Keep rank 1 harmless; it must be unwound by the abort.
+			p.Recv(0)
+		}
+	})
+	if err == nil {
+		t.Fatal("self-exchange did not panic")
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+)
+
+// group is one half of a partitioned machine: its global member ranks (in
+// row-major order, which is also ascending global rank) and its submesh
+// dimensions.
+type group struct {
+	members    []int
+	rows, cols int
+	sources    int // s_g, the sources repositioned into this group
+}
+
+func (g group) size() int { return len(g.members) }
+
+// splitMachine partitions the r×c mesh into two halves along its longer
+// dimension (columns when c ≥ r), the partition of Section 3: it is
+// independent of the source positions. The source counts satisfy
+// s1/s2 ≈ p1/p2 with both halves non-empty whenever s ≥ 2.
+func splitMachine(spec Spec) (g1, g2 group) {
+	r, c, s := spec.Rows, spec.Cols, spec.S()
+	if c >= r {
+		c1 := c / 2
+		g1 = group{rows: r, cols: c1}
+		g2 = group{rows: r, cols: c - c1}
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				rank := i*c + j
+				if j < c1 {
+					g1.members = append(g1.members, rank)
+				} else {
+					g2.members = append(g2.members, rank)
+				}
+			}
+		}
+	} else {
+		r1 := r / 2
+		g1 = group{rows: r1, cols: c}
+		g2 = group{rows: r - r1, cols: c}
+		for rank := 0; rank < r*c; rank++ {
+			if rank/c < r1 {
+				g1.members = append(g1.members, rank)
+			} else {
+				g2.members = append(g2.members, rank)
+			}
+		}
+	}
+	p := r * c
+	s1 := (s*g1.size() + p/2) / p // round(s·p1/p)
+	if s >= 2 {
+		if s1 < 1 {
+			s1 = 1
+		}
+		if s1 > s-1 {
+			s1 = s - 1
+		}
+	} else if s1 > s {
+		s1 = s
+	}
+	g1.sources = s1
+	g2.sources = s - s1
+	return g1, g2
+}
+
+// part is a partitioning algorithm (Section 3): reposition the sources so
+// that each machine half holds an ideal distribution with s1/s2 = p1/p2,
+// run the inner algorithm independently and concurrently inside each
+// half, then exchange the two half-bundles pairwise between the halves.
+type part struct {
+	name  string
+	inner Algorithm
+}
+
+func (a part) Name() string { return a.name }
+
+func (a part) Run(c comm.Comm, spec Spec, mine comm.Message) comm.Message {
+	if err := spec.Validate(c.Size()); err != nil {
+		panic(err)
+	}
+	c.Barrier()
+	if spec.P() == 1 {
+		return mine
+	}
+	rank := c.Rank()
+	g1, g2 := splitMachine(spec)
+
+	// Ideal positions inside each half, translated to global ranks. The
+	// permutation sends the first s1 sources into G1 and the rest into G2.
+	targets := make([]int, 0, spec.S())
+	for _, g := range []group{g1, g2} {
+		if g.sources == 0 {
+			continue
+		}
+		gen := IdealFor(a.inner, g.rows, g.cols)
+		local, err := gen.Sources(g.rows, g.cols, g.sources)
+		if err != nil {
+			panic(err)
+		}
+		for _, l := range local {
+			targets = append(targets, g.members[l])
+		}
+	}
+	if len(targets) != spec.S() {
+		panic(fmt.Sprintf("core: %s planned %d targets for %d sources", a.name, len(targets), spec.S()))
+	}
+	bundle := applyReposition(c, spec, targets, mine)
+
+	// Run the inner algorithm inside my half (only when the half received
+	// any sources; an empty half idles until the final exchange).
+	my := g2
+	other := g1
+	for _, m := range g1.members {
+		if m == rank {
+			my, other = g1, g2
+			break
+		}
+	}
+	myLocal := -1
+	for i, m := range my.members {
+		if m == rank {
+			myLocal = i
+			break
+		}
+	}
+	if my.sources > 0 {
+		sub, err := comm.NewSub(c, my.members)
+		if err != nil {
+			panic(err)
+		}
+		localSources := make([]int, 0, my.sources)
+		for i, m := range my.members {
+			for _, t := range targets {
+				if t == m {
+					localSources = append(localSources, i)
+					break
+				}
+			}
+		}
+		inner := Spec{Rows: my.rows, Cols: my.cols, Sources: localSources, Indexing: spec.Indexing}
+		bundle = a.inner.Run(sub, inner, bundle)
+	}
+
+	// Final inter-half exchange: local index k < min(p1,p2) exchanges
+	// pairwise; every extra processor of the larger half receives the
+	// other half's bundle one-way from member (k mod min) of the smaller
+	// half — its own half-bundle is already covered by its pair sibling.
+	min := g1.size()
+	if g2.size() < min {
+		min = g2.size()
+	}
+	if myLocal < min {
+		peer := other.members[myLocal]
+		halfBundle := bundle // my half's bundle, before merging the peer's
+		if my.sources > 0 {
+			c.Send(peer, halfBundle)
+			// Serve the extra processors of the larger half mapped to me
+			// with my half-bundle (their own half's parts they already
+			// hold).
+			if my.size() == min {
+				for k := min + myLocal; k < other.size(); k += min {
+					c.Send(other.members[k], halfBundle)
+				}
+			}
+		}
+		if other.sources > 0 {
+			m := c.Recv(peer)
+			comm.ChargeCombine(c, m.Len())
+			bundle = bundle.Append(m)
+		}
+	} else {
+		// I am an extra processor of the larger half.
+		if other.sources > 0 {
+			m := c.Recv(other.members[myLocal%min])
+			comm.ChargeCombine(c, m.Len())
+			bundle = bundle.Append(m)
+		}
+	}
+	return bundle
+}
+
+// PartLin returns Algorithm Part_Lin (Br_Lin inside each half).
+func PartLin() Algorithm { return part{name: "Part_Lin", inner: BrLin()} }
+
+// PartXYSource returns Algorithm Part_xy_source (Br_xy_source inside each
+// half).
+func PartXYSource() Algorithm { return part{name: "Part_xy_source", inner: BrXYSource()} }
+
+// PartXYDim returns Algorithm Part_xy_dim (Br_xy_dim inside each half).
+func PartXYDim() Algorithm { return part{name: "Part_xy_dim", inner: BrXYDim()} }

@@ -1,0 +1,36 @@
+package core
+
+import "fmt"
+
+// Registry returns every implemented s-to-p broadcasting algorithm: the
+// paper's full set plus the Ring_AllGather ablation. The order matches the
+// paper's presentation (Section 2, then Section 3).
+func Registry() []Algorithm {
+	return []Algorithm{
+		TwoStep(),
+		PersAlltoAll(),
+		BrLin(),
+		BrXYSource(),
+		BrXYDim(),
+		ReposLin(),
+		ReposXYSource(),
+		ReposXYDim(),
+		PartLin(),
+		PartXYSource(),
+		PartXYDim(),
+		RingAllGather(),
+		RDAllGather(),
+		Indep1toP(),
+	}
+}
+
+// ByName returns the algorithm with the paper's name ("Br_Lin",
+// "Repos_xy_source", ...).
+func ByName(name string) (Algorithm, error) {
+	for _, a := range Registry() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown algorithm %q", name)
+}

@@ -1,0 +1,426 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// checkSources validates the universal contract: exactly s sorted, unique,
+// in-range ranks.
+func checkSources(t *testing.T, name string, r, c, s int, got []int, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("%s(%d) on %d×%d: %v", name, s, r, c, err)
+	}
+	if len(got) != s {
+		t.Fatalf("%s(%d) on %d×%d: placed %d sources", name, s, r, c, len(got))
+	}
+	for i, rank := range got {
+		if rank < 0 || rank >= r*c {
+			t.Fatalf("%s(%d) on %d×%d: rank %d out of range", name, s, r, c, rank)
+		}
+		if i > 0 && got[i-1] >= rank {
+			t.Fatalf("%s(%d) on %d×%d: not sorted-unique at %d: %v", name, s, r, c, i, got)
+		}
+	}
+}
+
+func TestAllDistributionsContract(t *testing.T) {
+	meshes := [][2]int{{1, 1}, {1, 10}, {2, 2}, {4, 30}, {10, 10}, {10, 12}, {16, 16}, {7, 13}, {3, 5}}
+	dists := append(All(), Random(3), IdealRows(), IdealColumns(), IdealSnake())
+	for _, m := range meshes {
+		r, c := m[0], m[1]
+		p := r * c
+		for _, s := range []int{1, 2, 3, p / 4, p / 2, p - 1, p} {
+			if s < 1 || s > p {
+				continue
+			}
+			for _, d := range dists {
+				got, err := d.Sources(r, c, s)
+				checkSources(t, d.Name(), r, c, s, got, err)
+			}
+		}
+	}
+}
+
+func TestDistributionsContractQuick(t *testing.T) {
+	dists := append(All(), Random(99), IdealRows(), IdealColumns(), IdealSnake())
+	f := func(ru, cu, su uint8) bool {
+		r := int(ru)%16 + 1
+		c := int(cu)%16 + 1
+		s := int(su)%(r*c) + 1
+		for _, d := range dists {
+			got, err := d.Sources(r, c, s)
+			if err != nil || len(got) != s {
+				return false
+			}
+			seen := map[int]bool{}
+			for _, rank := range got {
+				if rank < 0 || rank >= r*c || seen[rank] {
+					return false
+				}
+				seen[rank] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidArguments(t *testing.T) {
+	for _, d := range All() {
+		if _, err := d.Sources(10, 10, 0); err == nil {
+			t.Errorf("%s accepted s=0", d.Name())
+		}
+		if _, err := d.Sources(10, 10, 101); err == nil {
+			t.Errorf("%s accepted s>p", d.Name())
+		}
+		if _, err := d.Sources(0, 10, 5); err == nil {
+			t.Errorf("%s accepted r=0", d.Name())
+		}
+	}
+}
+
+func rowsOf(c int, sources []int) map[int][]int {
+	out := map[int][]int{}
+	for _, rank := range sources {
+		out[rank/c] = append(out[rank/c], rank%c)
+	}
+	return out
+}
+
+func TestRow30Matches10x10Figure(t *testing.T) {
+	// R(30) on 10×10: three full, evenly spaced rows (Figure 1).
+	got, err := Row().Sources(10, 10, 30)
+	checkSources(t, "R", 10, 10, 30, got, err)
+	rows := rowsOf(10, got)
+	if len(rows) != 3 {
+		t.Fatalf("R(30) uses rows %v", rows)
+	}
+	for _, r := range []int{0, 3, 6} {
+		if len(rows[r]) != 10 {
+			t.Fatalf("row %d has %d sources: %v", r, len(rows[r]), rows)
+		}
+	}
+}
+
+func TestRowPartialLastRow(t *testing.T) {
+	got, err := Row().Sources(10, 10, 25)
+	checkSources(t, "R", 10, 10, 25, got, err)
+	rows := rowsOf(10, got)
+	full := 0
+	for _, cols := range rows {
+		if len(cols) == 10 {
+			full++
+		}
+	}
+	if full != 2 {
+		t.Fatalf("R(25): %d full rows, want 2 (%v)", full, rows)
+	}
+}
+
+func TestColumnIsRowTransposed(t *testing.T) {
+	rGot, err := Row().Sources(10, 10, 30)
+	checkSources(t, "R", 10, 10, 30, rGot, err)
+	cGot, err := Column().Sources(10, 10, 30)
+	checkSources(t, "C", 10, 10, 30, cGot, err)
+	transposed := make(map[int]bool, len(rGot))
+	for _, rank := range rGot {
+		transposed[(rank%10)*10+rank/10] = true
+	}
+	for _, rank := range cGot {
+		if !transposed[rank] {
+			t.Fatalf("C(30) not the transpose of R(30): rank %d", rank)
+		}
+	}
+}
+
+func TestEqualIncludesOriginAndSpreads(t *testing.T) {
+	got, err := Equal().Sources(10, 10, 4)
+	checkSources(t, "E", 10, 10, 4, got, err)
+	want := []int{0, 25, 50, 75}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("E(4) = %v, want %v", got, want)
+		}
+	}
+	// E(p) must be every processor.
+	all, err := Equal().Sources(10, 10, 100)
+	checkSources(t, "E", 10, 10, 100, all, err)
+	for i, rank := range all {
+		if rank != i {
+			t.Fatalf("E(100)[%d] = %d", i, rank)
+		}
+	}
+}
+
+func TestDiagRightMainDiagonal(t *testing.T) {
+	got, err := DiagRight().Sources(10, 10, 10)
+	checkSources(t, "Dr", 10, 10, 10, got, err)
+	for k := 0; k < 10; k++ {
+		if got[k] != k*10+k {
+			t.Fatalf("Dr(10) = %v, want the (k,k) diagonal", got)
+		}
+	}
+}
+
+func TestDiagLeftAntiDiagonal(t *testing.T) {
+	got, err := DiagLeft().Sources(10, 10, 10)
+	checkSources(t, "Dl", 10, 10, 10, got, err)
+	want := map[int]bool{}
+	for k := 0; k < 10; k++ {
+		want[k*10+(9-k)] = true
+	}
+	for _, rank := range got {
+		if !want[rank] {
+			t.Fatalf("Dl(10) = %v, want the (k,9−k) anti-diagonal", got)
+		}
+	}
+}
+
+func TestDiagonalsBalanceRowsAndColumns(t *testing.T) {
+	// A full diagonal distribution has the same source count in every row
+	// and every column (the property Section 4 highlights).
+	for _, d := range []Distribution{DiagRight(), DiagLeft()} {
+		got, err := d.Sources(10, 10, 30)
+		checkSources(t, d.Name(), 10, 10, 30, got, err)
+		perRow := map[int]int{}
+		perCol := map[int]int{}
+		for _, rank := range got {
+			perRow[rank/10]++
+			perCol[rank%10]++
+		}
+		for i := 0; i < 10; i++ {
+			if perRow[i] != 3 {
+				t.Fatalf("%s(30): row %d has %d sources", d.Name(), i, perRow[i])
+			}
+			if perCol[i] != 3 {
+				t.Fatalf("%s(30): col %d has %d sources", d.Name(), i, perCol[i])
+			}
+		}
+	}
+}
+
+func TestCross30Matches10x10Figure(t *testing.T) {
+	// Cr(30) on 10×10 (Figure 1): two full rows, first column complete,
+	// second column with exactly 4 sources.
+	got, err := Cross().Sources(10, 10, 30)
+	checkSources(t, "Cr", 10, 10, 30, got, err)
+	rows := rowsOf(10, got)
+	if len(rows[0]) != 10 || len(rows[5]) != 10 {
+		t.Fatalf("Cr(30) rows: %v", rows)
+	}
+	perCol := map[int]int{}
+	for _, rank := range got {
+		perCol[rank%10]++
+	}
+	if perCol[0] != 10 {
+		t.Fatalf("Cr(30): first column has %d sources", perCol[0])
+	}
+	if perCol[5] != 4 {
+		t.Fatalf("Cr(30): second cross column has %d sources, want 4", perCol[5])
+	}
+}
+
+func TestSquareBlockShape(t *testing.T) {
+	got, err := Square().Sources(10, 10, 30)
+	checkSources(t, "Sq", 10, 10, 30, got, err)
+	// q = ⌈√30⌉ = 6: all sources inside rows 0..5, cols 0..4.
+	for _, rank := range got {
+		r, c := rank/10, rank%10
+		if r > 5 || c > 4 {
+			t.Fatalf("Sq(30): source at (%d,%d) outside 6×5 block", r, c)
+		}
+	}
+}
+
+func TestSquareClipsToShortMesh(t *testing.T) {
+	got, err := Square().Sources(4, 30, 25)
+	checkSources(t, "Sq", 4, 30, 25, got, err)
+	for _, rank := range got {
+		if rank/30 > 3 {
+			t.Fatalf("Sq on 4×30 placed source below row 3")
+		}
+	}
+}
+
+func TestBandSingleBandOn16x16(t *testing.T) {
+	// On 16×16, b = 1: one diagonal band of width ⌈s/16⌉ (Section 5.2).
+	got, err := Band().Sources(16, 16, 64)
+	checkSources(t, "B", 16, 16, 64, got, err)
+	for _, rank := range got {
+		r, c := rank/16, rank%16
+		off := (c - r + 16) % 16
+		if off >= 4 {
+			t.Fatalf("B(64) on 16×16: source at (%d,%d) outside width-4 band", r, c)
+		}
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a, _ := Random(5).Sources(16, 16, 40)
+	b, _ := Random(5).Sources(16, 16, 40)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, want := range []string{"R", "C", "E", "Dr", "Dl", "B", "Cr", "Sq"} {
+		d, err := ByName(want)
+		if err != nil || d.Name() != want {
+			t.Errorf("ByName(%q) = %v, %v", want, d, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted unknown name")
+	}
+}
+
+func TestRenderShowsSources(t *testing.T) {
+	got, _ := DiagRight().Sources(4, 4, 4)
+	s := Render(4, 4, got)
+	want := "#...\n.#..\n..#.\n...#\n"
+	if s != want {
+		t.Fatalf("Render:\n%s\nwant:\n%s", s, want)
+	}
+	if strings.Count(s, "#") != 4 {
+		t.Fatalf("Render source count wrong:\n%s", s)
+	}
+}
+
+// simulateHalving runs Br_Lin's pairing pattern over holder booleans and
+// returns the holder count after each iteration (the growth profile the
+// ideal distributions are designed to maximize).
+func simulateHalving(n int, sources []int) []int {
+	holds := make([]bool, n)
+	for _, s := range sources {
+		holds[s] = true
+	}
+	count := func() int {
+		k := 0
+		for _, h := range holds {
+			if h {
+				k++
+			}
+		}
+		return k
+	}
+	var profile []int
+	type seg struct{ lo, n int }
+	segs := []seg{{0, n}}
+	for len(segs) > 0 && segs[0].n > 1 {
+		var next []seg
+		for _, sg := range segs {
+			if sg.n <= 1 {
+				continue
+			}
+			h := (sg.n + 1) / 2
+			for i := 0; i < sg.n-h; i++ {
+				a, b := sg.lo+i, sg.lo+i+h
+				if holds[a] || holds[b] {
+					holds[a], holds[b] = true, true
+				}
+			}
+			if sg.n%2 == 1 {
+				// Unpaired middle one-way sends to the segment's last
+				// processor (the Br_Lin odd rule).
+				u := sg.lo + h - 1
+				if holds[u] {
+					holds[sg.lo+sg.n-1] = true
+				}
+			}
+			next = append(next, seg{sg.lo, h}, seg{sg.lo + h, sg.n - h})
+		}
+		segs = next
+		profile = append(profile, count())
+	}
+	return profile
+}
+
+func TestIdealLinearDoublesOnPowersOfTwo(t *testing.T) {
+	for _, n := range []int{8, 16, 64, 128} {
+		for k := 1; k <= n/2; k *= 2 {
+			sources, err := IdealLinear(n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			profile := simulateHalving(n, sources)
+			for it, holders := range profile {
+				want := k << uint(it+1)
+				if want > n {
+					want = n
+				}
+				if holders < want {
+					t.Fatalf("IdealLinear(%d,%d): iter %d holders %d < %d (profile %v, sources %v)",
+						n, k, it, holders, want, profile, sources)
+				}
+			}
+		}
+	}
+}
+
+func TestIdealLinearNearDoublesAnySize(t *testing.T) {
+	// On arbitrary sizes the doubling may lose one holder per odd split;
+	// require ≥ 2k−1 holders after the first iteration and full coverage
+	// at the end.
+	for _, n := range []int{5, 7, 10, 12, 15, 100, 120} {
+		for _, k := range []int{1, 2, 3, 4} {
+			if 2*k > n {
+				continue
+			}
+			sources, err := IdealLinear(n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			profile := simulateHalving(n, sources)
+			if profile[0] < 2*k-1 {
+				t.Fatalf("IdealLinear(%d,%d): first iteration grew %d→%d (sources %v)",
+					n, k, k, profile[0], sources)
+			}
+			if final := profile[len(profile)-1]; final != n {
+				t.Fatalf("IdealLinear(%d,%d): final coverage %d of %d", n, k, final, n)
+			}
+		}
+	}
+}
+
+func TestIdealLinearAvoidsPartnerCollision(t *testing.T) {
+	// The paper's 10-row example: two ideal rows must not be halving
+	// partners (distance 5 apart in a 10-row mesh).
+	sources, err := IdealLinear(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sources[1] - sources[0]; d == 5 {
+		t.Fatalf("IdealLinear(10,2) = %v places halving partners", sources)
+	}
+}
+
+func TestIdealRowsAreFullRows(t *testing.T) {
+	got, err := IdealRows().Sources(16, 16, 64)
+	checkSources(t, "IdealRows", 16, 16, 64, got, err)
+	rows := rowsOf(16, got)
+	if len(rows) != 4 {
+		t.Fatalf("IdealRows(64) on 16×16 used %d rows", len(rows))
+	}
+	for r, cols := range rows {
+		if len(cols) != 16 {
+			t.Fatalf("IdealRows row %d has %d sources", r, len(cols))
+		}
+	}
+	rowIdx := make([]int, 0, len(rows))
+	for r := range rows {
+		rowIdx = append(rowIdx, r)
+	}
+	// The chosen rows themselves must double under halving.
+	profile := simulateHalving(16, rowIdx)
+	if profile[0] < 8 {
+		t.Fatalf("IdealRows row set %v does not double: %v", rowIdx, profile)
+	}
+}

@@ -1,0 +1,61 @@
+package dist
+
+import (
+	"testing"
+)
+
+// FuzzDistributionContract fuzzes every named distribution against the
+// universal contract: exactly s sorted, unique, in-range ranks for any
+// valid (r, c, s).
+func FuzzDistributionContract(f *testing.F) {
+	f.Add(uint8(10), uint8(10), uint16(30), int64(1))
+	f.Add(uint8(1), uint8(1), uint16(1), int64(2))
+	f.Add(uint8(16), uint8(16), uint16(256), int64(3))
+	f.Add(uint8(4), uint8(30), uint16(119), int64(4))
+	f.Fuzz(func(t *testing.T, ru, cu uint8, su uint16, seed int64) {
+		r := int(ru)%24 + 1
+		c := int(cu)%24 + 1
+		s := int(su)%(r*c) + 1
+		dists := append(All(), Random(seed), IdealRows(), IdealColumns(), IdealSnake())
+		for _, d := range dists {
+			got, err := d.Sources(r, c, s)
+			if err != nil {
+				t.Fatalf("%s(%d) on %d×%d: %v", d.Name(), s, r, c, err)
+			}
+			if len(got) != s {
+				t.Fatalf("%s(%d) on %d×%d: placed %d", d.Name(), s, r, c, len(got))
+			}
+			for i, rank := range got {
+				if rank < 0 || rank >= r*c {
+					t.Fatalf("%s: rank %d out of range", d.Name(), rank)
+				}
+				if i > 0 && got[i-1] >= rank {
+					t.Fatalf("%s: not sorted-unique", d.Name())
+				}
+			}
+		}
+	})
+}
+
+// FuzzIdealLinear fuzzes the halving-ideal generator: any prefix must be
+// valid positions and the full halving simulation must reach everyone.
+func FuzzIdealLinear(f *testing.F) {
+	f.Add(uint8(16), uint8(2))
+	f.Add(uint8(10), uint8(3))
+	f.Add(uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, nu, ku uint8) {
+		n := int(nu)%128 + 1
+		k := int(ku)%n + 1
+		got, err := IdealLinear(n, k)
+		if err != nil {
+			t.Fatalf("IdealLinear(%d,%d): %v", n, k, err)
+		}
+		if len(got) != k {
+			t.Fatalf("IdealLinear(%d,%d) returned %d positions", n, k, len(got))
+		}
+		profile := simulateHalving(n, got)
+		if len(profile) > 0 && profile[len(profile)-1] != n {
+			t.Fatalf("IdealLinear(%d,%d): final coverage %d", n, k, profile[len(profile)-1])
+		}
+	})
+}

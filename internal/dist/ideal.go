@@ -1,0 +1,164 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IdealLinear returns k positions in a linear array of n processors such
+// that recursive halving (Br_Lin's pattern) grows the set of
+// message-holding processors as fast as possible: every prefix of the
+// construction places sources in distinct exchange pairs at every level of
+// the halving tree, so the number of active processors doubles each
+// iteration until saturation.
+//
+// The construction is recursive. For a segment of size n with halving
+// offset h = ⌈n/2⌉, the k sources are assigned the pair slots of
+// IdealLinear(h, k) and alternate between the slot's first-half position j
+// and its second-half position j+h, so no two sources collide in
+// iteration one and the induced within-half patterns are again ideal.
+// The paper's observation that sources in rows 1 and 7 of a 10-row mesh
+// beat rows 1 and 6 (which are halving partners) is exactly this property.
+func IdealLinear(n, k int) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dist: IdealLinear: non-positive array size %d", n)
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("dist: IdealLinear: k=%d outside [1,%d]", k, n)
+	}
+	out := idealLinear(n, k)
+	sort.Ints(out)
+	return out, nil
+}
+
+func idealLinear(n, k int) []int {
+	if k >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	if n == 1 {
+		return []int{0}
+	}
+	h := (n + 1) / 2
+	if k > h {
+		// Every first-half slot is taken; overflow goes to an ideal
+		// pattern of the second half.
+		out := make([]int, 0, k)
+		for i := 0; i < h; i++ {
+			out = append(out, i)
+		}
+		for _, x := range idealLinear(n-h, k-h) {
+			out = append(out, h+x)
+		}
+		return out
+	}
+	slots := idealLinear(h, k)
+	out := make([]int, 0, k)
+	for i, j := range slots {
+		if i%2 == 1 && j+h < n {
+			out = append(out, j+h)
+		} else {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// idealRows is the ideal distribution for Br_xy_source (and Br_xy_dim when
+// rows are the second dimension): ⌈s/c⌉ full rows whose row indices are
+// chosen by IdealLinear over the r rows, so the column-phase recursive
+// halving doubles the set of message-holding rows every iteration. This is
+// the "row distribution … positioned so that the number of new sources
+// increases as fast as possible" of Section 5.2.
+type idealRows struct{}
+
+// IdealRows returns the ideal row distribution generator.
+func IdealRows() Distribution { return idealRows{} }
+
+func (idealRows) Name() string { return "IdealRows" }
+
+func (idealRows) Sources(r, c, s int) ([]int, error) {
+	if err := check("IdealRows", r, c, s); err != nil {
+		return nil, err
+	}
+	i := ceilDiv(s, c)
+	rows, err := IdealLinear(r, i)
+	if err != nil {
+		return nil, err
+	}
+	p := newPlacer(r, c, s)
+	for _, rr := range rows {
+		for col := 0; col < c; col++ {
+			if p.add(rr, col) {
+				return p.sorted(), nil
+			}
+		}
+	}
+	return p.sorted(), nil
+}
+
+// idealColumns mirrors IdealRows for machines where columns are the
+// second Br_xy dimension (r < c in Br_xy_dim's rule).
+type idealColumns struct{}
+
+// IdealColumns returns the ideal column distribution generator.
+func IdealColumns() Distribution { return idealColumns{} }
+
+func (idealColumns) Name() string { return "IdealCols" }
+
+func (idealColumns) Sources(r, c, s int) ([]int, error) {
+	if err := check("IdealCols", r, c, s); err != nil {
+		return nil, err
+	}
+	i := ceilDiv(s, r)
+	cols, err := IdealLinear(c, i)
+	if err != nil {
+		return nil, err
+	}
+	p := newPlacer(r, c, s)
+	for _, cc := range cols {
+		for rr := 0; rr < r; rr++ {
+			if p.add(rr, cc) {
+				return p.sorted(), nil
+			}
+		}
+	}
+	return p.sorted(), nil
+}
+
+// idealSnake is the ideal distribution for Br_Lin on the snake-indexed
+// mesh: IdealLinear positions interpreted as snake ranks and converted to
+// row-major ranks. The paper uses the left diagonal as Br_Lin's ideal
+// distribution on the Paragon; IdealSnake is the exact machine-derived
+// ideal (our repositioning ablation compares both).
+type idealSnake struct{}
+
+// IdealSnake returns the halving-exact ideal distribution for Br_Lin.
+func IdealSnake() Distribution { return idealSnake{} }
+
+func (idealSnake) Name() string { return "IdealSnake" }
+
+func (idealSnake) Sources(r, c, s int) ([]int, error) {
+	if err := check("IdealSnake", r, c, s); err != nil {
+		return nil, err
+	}
+	lin, err := IdealLinear(r*c, s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(lin))
+	for i, rank := range lin {
+		// Convert a snake rank to a row-major rank.
+		row := rank / c
+		col := rank % c
+		if row%2 == 1 {
+			col = c - 1 - col
+		}
+		out[i] = row*c + col
+	}
+	sort.Ints(out)
+	return out, nil
+}

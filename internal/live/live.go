@@ -1,0 +1,236 @@
+// Package live executes an algorithm on a real concurrent runtime: one
+// goroutine per processor, messages moved as real bytes through in-memory
+// mailboxes. It is the functional-correctness twin of internal/sim — the
+// same algorithm code runs on both engines — and the closest analogue of
+// the paper's machines this environment offers (per-process address spaces
+// approximated by goroutines + channels/mailboxes instead of MPI).
+//
+// Unlike the simulator, the live engine gives no virtual timing; it
+// reports wall-clock elapsed time and operation counts. Payload bytes are
+// copied on send, so a sender mutating its buffer after Send cannot
+// corrupt a message in flight — matching the buffered semantics of NX
+// csend that the algorithms assume.
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// errAbort is the panic value used to unwind processors blocked on a
+// machine that has already failed.
+type errAbort struct{ cause string }
+
+// mailbox is the unbounded FIFO of messages from one sender to one
+// receiver. Receivers block on the condition variable of their own inbox.
+type mailbox struct {
+	queue []comm.Message
+}
+
+// inbox is one processor's receive side: per-source FIFOs under one lock.
+type inbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	boxes []mailbox
+}
+
+// barrier is a reusable (cyclic) barrier for p participants that releases
+// everyone when the machine aborts.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	count   int
+	gen     int
+	aborted *atomic.Bool
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen && !b.aborted.Load() {
+		b.cond.Wait()
+	}
+	if gen == b.gen { // woken by abort, not by release
+		panic(errAbort{cause: "barrier"})
+	}
+}
+
+// ProcStats counts one processor's operations during a run.
+type ProcStats struct {
+	Rank      int
+	Sends     int
+	Recvs     int
+	SendBytes int64
+	RecvBytes int64
+}
+
+// Result is the outcome of a live run.
+type Result struct {
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Procs holds per-processor operation counts, indexed by rank.
+	Procs []ProcStats
+}
+
+// machine is the shared state of one live run.
+type machine struct {
+	size    int
+	inboxes []*inbox
+	bar     *barrier
+	aborted atomic.Bool
+}
+
+// abort marks the machine failed and wakes every blocked processor.
+func (m *machine) abort() {
+	if m.aborted.Swap(true) {
+		return
+	}
+	for _, ib := range m.inboxes {
+		ib.mu.Lock()
+		ib.cond.Broadcast()
+		ib.mu.Unlock()
+	}
+	m.bar.mu.Lock()
+	m.bar.cond.Broadcast()
+	m.bar.mu.Unlock()
+}
+
+// Proc is one live processor's handle. It implements comm.Comm. Methods
+// must only be called from the algorithm goroutine for this processor.
+type Proc struct {
+	rank  int
+	m     *machine
+	stats ProcStats
+}
+
+var _ comm.Comm = (*Proc)(nil)
+
+// Rank implements comm.Comm.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size implements comm.Comm.
+func (p *Proc) Size() int { return p.m.size }
+
+// Send implements comm.Comm. The payload of every part is copied, so the
+// caller may reuse its buffers immediately.
+func (p *Proc) Send(dst int, m comm.Message) {
+	if dst < 0 || dst >= p.m.size {
+		panic(fmt.Sprintf("live: rank %d sends to invalid rank %d", p.rank, dst))
+	}
+	cp := comm.Message{Tag: m.Tag, Parts: make([]comm.Part, len(m.Parts))}
+	var bytes int64
+	for i, part := range m.Parts {
+		data := make([]byte, len(part.Data))
+		copy(data, part.Data)
+		cp.Parts[i] = comm.Part{Origin: part.Origin, Data: data}
+		bytes += int64(len(data))
+	}
+	ib := p.m.inboxes[dst]
+	ib.mu.Lock()
+	ib.boxes[p.rank].queue = append(ib.boxes[p.rank].queue, cp)
+	ib.cond.Broadcast()
+	ib.mu.Unlock()
+	p.stats.Sends++
+	p.stats.SendBytes += bytes
+}
+
+// Recv implements comm.Comm.
+func (p *Proc) Recv(src int) comm.Message {
+	if src < 0 || src >= p.m.size {
+		panic(fmt.Sprintf("live: rank %d receives from invalid rank %d", p.rank, src))
+	}
+	ib := p.m.inboxes[p.rank]
+	ib.mu.Lock()
+	box := &ib.boxes[src]
+	for len(box.queue) == 0 {
+		if p.m.aborted.Load() {
+			ib.mu.Unlock()
+			panic(errAbort{cause: "recv"})
+		}
+		ib.cond.Wait()
+	}
+	m := box.queue[0]
+	box.queue = box.queue[1:]
+	ib.mu.Unlock()
+	p.stats.Recvs++
+	p.stats.RecvBytes += int64(m.Len())
+	return m
+}
+
+// Barrier implements comm.Comm.
+func (p *Proc) Barrier() { p.m.bar.wait() }
+
+// Run executes fn concurrently on p processors and returns operation
+// counts. If any processor panics, the machine aborts: every processor
+// blocked in Recv or Barrier is unwound, and Run returns the first
+// processor's error (by rank).
+func Run(p int, fn func(*Proc)) (*Result, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("live: non-positive processor count %d", p)
+	}
+	m := &machine{size: p, inboxes: make([]*inbox, p)}
+	for i := range m.inboxes {
+		ib := &inbox{boxes: make([]mailbox, p)}
+		ib.cond = sync.NewCond(&ib.mu)
+		m.inboxes[i] = ib
+	}
+	m.bar = &barrier{size: p, aborted: &m.aborted}
+	m.bar.cond = sync.NewCond(&m.bar.mu)
+	procs := make([]*Proc, p)
+	// roots collects root-cause panics; unwinds collects processors that
+	// were unwound by the abort. Root causes take precedence in the
+	// returned error.
+	roots := make([]error, p)
+	unwinds := make([]error, p)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < p; i++ {
+		pr := &Proc{rank: i, m: m}
+		pr.stats.Rank = i
+		procs[i] = pr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if ab, ok := r.(errAbort); ok {
+						unwinds[pr.rank] = fmt.Errorf("live: rank %d unwound (%s) after machine abort", pr.rank, ab.cause)
+						return
+					}
+					roots[pr.rank] = fmt.Errorf("live: rank %d panicked: %v", pr.rank, r)
+					m.abort()
+				}
+			}()
+			fn(pr)
+		}()
+	}
+	wg.Wait()
+	res := &Result{Elapsed: time.Since(start), Procs: make([]ProcStats, p)}
+	for i, pr := range procs {
+		res.Procs[i] = pr.stats
+	}
+	for _, e := range roots {
+		if e != nil {
+			return nil, e
+		}
+	}
+	for _, e := range unwinds {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,176 @@
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+func TestPingPongContent(t *testing.T) {
+	res, err := Run(2, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, comm.Message{Tag: 7, Parts: []comm.Part{{Origin: 0, Data: []byte("hello")}}})
+			m := p.Recv(1)
+			if string(m.Parts[0].Data) != "world" {
+				t.Errorf("rank 0 got %q", m.Parts[0].Data)
+			}
+		} else {
+			m := p.Recv(0)
+			if m.Tag != 7 || string(m.Parts[0].Data) != "hello" {
+				t.Errorf("rank 1 got %v %q", m.Tag, m.Parts[0].Data)
+			}
+			p.Send(0, comm.Message{Parts: []comm.Part{{Origin: 1, Data: []byte("world")}}})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Procs[0].Sends != 1 || res.Procs[1].Recvs != 1 {
+		t.Fatalf("counts wrong: %+v", res.Procs)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	_, err := Run(2, func(p *Proc) {
+		if p.Rank() == 0 {
+			buf := []byte("original")
+			p.Send(1, comm.Message{Parts: []comm.Part{{Data: buf}}})
+			copy(buf, "CLOBBER!") // must not affect the in-flight message
+		} else {
+			m := p.Recv(0)
+			if !bytes.Equal(m.Parts[0].Data, []byte("original")) {
+				t.Errorf("payload aliased: %q", m.Parts[0].Data)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOPerPairUnderConcurrency(t *testing.T) {
+	const n = 200
+	_, err := Run(3, func(p *Proc) {
+		switch p.Rank() {
+		case 0, 1:
+			for i := 0; i < n; i++ {
+				p.Send(2, comm.Message{Tag: i, Parts: []comm.Part{{Origin: p.Rank(), Data: []byte{byte(i)}}}})
+			}
+		case 2:
+			// Interleave receives from both senders; each stream must
+			// stay in order.
+			for i := 0; i < n; i++ {
+				for src := 0; src < 2; src++ {
+					m := p.Recv(src)
+					if m.Tag != i {
+						t.Errorf("stream %d out of order: got %d want %d", src, m.Tag, i)
+						return
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierIsCyclic(t *testing.T) {
+	const rounds = 10
+	var counter atomic.Int64
+	_, err := Run(8, func(p *Proc) {
+		for r := 0; r < rounds; r++ {
+			counter.Add(1)
+			p.Barrier()
+			// After each barrier, everyone must observe the full round.
+			if got := counter.Load(); got < int64((r+1)*8) {
+				t.Errorf("round %d: counter %d < %d after barrier", r, got, (r+1)*8)
+			}
+			p.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAllDelivers(t *testing.T) {
+	const p = 16
+	_, err := Run(p, func(pr *Proc) {
+		for d := 0; d < p; d++ {
+			if d == pr.Rank() {
+				continue
+			}
+			pr.Send(d, comm.Message{Parts: []comm.Part{{Origin: pr.Rank(), Data: []byte(fmt.Sprintf("from-%d", pr.Rank()))}}})
+		}
+		for s := 0; s < p; s++ {
+			if s == pr.Rank() {
+				continue
+			}
+			m := pr.Recv(s)
+			want := fmt.Sprintf("from-%d", s)
+			if string(m.Parts[0].Data) != want {
+				t.Errorf("rank %d from %d: %q", pr.Rank(), s, m.Parts[0].Data)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicAbortsMachine(t *testing.T) {
+	_, err := Run(4, func(p *Proc) {
+		if p.Rank() == 3 {
+			panic("injected fault")
+		}
+		// Everyone else blocks on the dead processor; the abort must
+		// unwind them instead of hanging the test.
+		p.Recv(3)
+	})
+	if err == nil {
+		t.Fatal("fault not reported")
+	}
+	if !strings.Contains(err.Error(), "injected fault") {
+		t.Fatalf("root cause lost: %v", err)
+	}
+}
+
+func TestPanicInBarrierAborts(t *testing.T) {
+	_, err := Run(4, func(p *Proc) {
+		if p.Rank() == 0 {
+			panic("dead before barrier")
+		}
+		p.Barrier()
+	})
+	if err == nil || !strings.Contains(err.Error(), "dead before barrier") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInvalidProcessorCount(t *testing.T) {
+	if _, err := Run(0, func(*Proc) {}); err == nil {
+		t.Fatal("Run(0) succeeded")
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	res, err := Run(1, func(p *Proc) {
+		p.Barrier()
+		p.Send(0, comm.Message{Parts: []comm.Part{{Origin: 0, Data: []byte("self")}}})
+		m := p.Recv(0)
+		if string(m.Parts[0].Data) != "self" {
+			t.Errorf("self message corrupted: %q", m.Parts[0].Data)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Procs[0].Sends != 1 || res.Procs[0].Recvs != 1 {
+		t.Fatalf("self-op counts: %+v", res.Procs[0])
+	}
+}

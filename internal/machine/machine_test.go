@@ -1,0 +1,123 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func TestTorusDims(t *testing.T) {
+	cases := []struct{ p, x, y, z int }{
+		{1, 1, 1, 1},
+		{2, 1, 1, 2},
+		{8, 2, 2, 2},
+		{16, 2, 2, 4},
+		{32, 2, 4, 4},
+		{64, 4, 4, 4},
+		{128, 4, 4, 8},
+		{256, 4, 8, 8},
+		{7, 1, 1, 7}, // prime: degenerate ring
+	}
+	for _, tc := range cases {
+		x, y, z := TorusDims(tc.p)
+		if x != tc.x || y != tc.y || z != tc.z {
+			t.Errorf("TorusDims(%d) = %d×%d×%d, want %d×%d×%d", tc.p, x, y, z, tc.x, tc.y, tc.z)
+		}
+	}
+}
+
+func TestTorusDimsProduct(t *testing.T) {
+	f := func(pu uint16) bool {
+		p := int(pu)%1024 + 1
+		x, y, z := TorusDims(p)
+		return x*y*z == p && x <= y && y <= z
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParagonMachines(t *testing.T) {
+	m := Paragon(10, 12)
+	if m.P() != 120 || m.Rows != 10 || m.Cols != 12 {
+		t.Fatalf("Paragon dims: %+v", m)
+	}
+	if m.Topo.Nodes() != 120 {
+		t.Fatalf("topology nodes %d", m.Topo.Nodes())
+	}
+	if m.Cfg.Name != "paragon-nx" {
+		t.Fatalf("config %s", m.Cfg.Name)
+	}
+	mpi := ParagonMPI(10, 12)
+	if mpi.Cfg.Name != "paragon-mpi" {
+		t.Fatalf("MPI config %s", mpi.Cfg.Name)
+	}
+	if mpi.Cfg.SendOverhead <= m.Cfg.SendOverhead {
+		t.Fatal("MPI overhead not above NX")
+	}
+	if _, err := m.NewNetwork(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestT3DMachine(t *testing.T) {
+	m := T3D(128)
+	if m.P() != 128 {
+		t.Fatalf("P = %d", m.P())
+	}
+	if m.Rows != 8 || m.Cols != 16 {
+		t.Fatalf("logical mesh %d×%d", m.Rows, m.Cols)
+	}
+	if m.Topo.Degree() != 6 {
+		t.Fatalf("degree %d", m.Topo.Degree())
+	}
+	if m.Place.Name() != "snake3d" {
+		t.Fatalf("placement %s", m.Place.Name())
+	}
+	if _, err := m.NewNetwork(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestT3DRandomDiffers(t *testing.T) {
+	a := T3DRandom(64, 1)
+	b := T3D(64)
+	diff := false
+	for r := 0; r < 64; r++ {
+		if a.Place.Node(r) != b.Place.Node(r) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("random placement identical to snake placement")
+	}
+}
+
+func TestSnakePlacementAdjacency(t *testing.T) {
+	// Consecutive ranks under the snake placement must be torus
+	// neighbours.
+	topo := topology.MustTorus3D(4, 4, 8)
+	place := topology.Snake3DPlacement(topo)
+	for r := 0; r+1 < topo.Nodes(); r++ {
+		if d := topo.Distance(place.Node(r), place.Node(r+1)); d != 1 {
+			t.Fatalf("ranks %d,%d at distance %d", r, r+1, d)
+		}
+	}
+}
+
+func TestSnakePlacementBreaksStrideResonance(t *testing.T) {
+	// Stride-4 ranks must not collapse onto a single x-plane of the
+	// 4×4×8 torus (the artifact that motivated the snake placement).
+	topo := topology.MustTorus3D(4, 4, 8)
+	place := topology.Snake3DPlacement(topo)
+	xs := map[int]bool{}
+	for r := 0; r < topo.Nodes(); r += 4 {
+		x, _, _ := topo.Coord(place.Node(r))
+		xs[x] = true
+	}
+	if len(xs) < 2 {
+		t.Fatalf("stride-4 ranks occupy only x-planes %v", xs)
+	}
+}

@@ -1,0 +1,445 @@
+// Package sim executes an algorithm on a simulated message-passing MPP and
+// reports virtual elapsed time plus the paper's characteristic parameters.
+//
+// Each of the p virtual processors runs the user's algorithm function in
+// its own goroutine, but the engine enforces strictly sequential execution:
+// exactly one processor goroutine holds the run token at any instant, and
+// the scheduler always hands the token to the runnable processor with the
+// smallest local virtual clock (ties broken by rank). Every communication
+// operation yields the token. The result is a deterministic, conservative
+// discrete-event simulation: identical inputs produce identical timings,
+// and network link claims are issued in (near) nondecreasing virtual-time
+// order. The residual approximation — a processor that un-blocks from a
+// receive may claim links at a virtual time slightly before links already
+// claimed by processors that ran ahead — is second-order and documented in
+// DESIGN.md.
+//
+// Cost model (see internal/network for the wire side):
+//
+//	Send:  clock += SendOverhead + ByteCopy·len; message injected at clock,
+//	       arrival priced by the contention-aware network.
+//	Recv:  completes at max(clock, arrival) + RecvOverhead + ByteCopy·len;
+//	       time spent with the clock below the arrival instant is "wait".
+//	Barrier: all processors advance to the common instant
+//	       max(clock) + ceil(log2 p)·(SendOverhead+RecvOverhead+NetStartup).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/comm"
+	"repro/internal/network"
+)
+
+type procState int
+
+const (
+	stateReady procState = iota
+	stateBlocked
+	stateBarrier
+	stateDone
+)
+
+// pending is a sent-but-not-yet-received message in a (src,dst) queue.
+type pending struct {
+	msg     comm.Message
+	arrival network.Time
+}
+
+// IterStats aggregates one processor's activity inside one algorithm
+// iteration, the granularity of the paper's Figure-2 parameters.
+type IterStats struct {
+	Sends, Recvs int   // messages sent / received this iteration
+	Bytes        int64 // payload bytes sent + received
+}
+
+// Active reports whether the processor communicated at all this iteration.
+func (s IterStats) Active() bool { return s.Sends+s.Recvs > 0 }
+
+// ProcStats is the per-processor outcome of a run.
+type ProcStats struct {
+	Rank        int
+	Finish      network.Time // local clock when the algorithm returned
+	Sends       int
+	Recvs       int
+	SendBytes   int64
+	RecvBytes   int64
+	WaitCount   int          // times the processor waited for data
+	WaitTime    network.Time // total time spent waiting on receives
+	CombineTime network.Time // time charged for combining messages
+	Iters       []IterStats  // per-iteration activity (if the algorithm marks iterations)
+}
+
+// Result is the outcome of a simulated run.
+type Result struct {
+	// Elapsed is the makespan: the largest processor finish time.
+	Elapsed network.Time
+	// Procs holds per-processor statistics, indexed by rank.
+	Procs []ProcStats
+	// Net holds aggregate wire statistics.
+	Net network.Stats
+	// Iterations is the largest iteration index marked plus one.
+	Iterations int
+}
+
+// Event is a single simulator occurrence handed to a Tracer.
+type Event struct {
+	Kind    string // "send" | "recv" | "barrier" | "combine"
+	Rank    int
+	Peer    int
+	Bytes   int
+	Parts   int
+	Tag     int
+	Clock   network.Time // processor clock after the operation
+	Arrival network.Time // message arrival (recv only)
+	Iter    int
+}
+
+// Tracer observes simulator events. Implementations must be fast; they run
+// inline under the scheduler token.
+type Tracer interface {
+	Trace(Event)
+}
+
+// Options configure a run.
+type Options struct {
+	// Tracer, when non-nil, receives every send/recv/barrier event.
+	Tracer Tracer
+	// MaxOps, when positive, aborts the run with an error after that
+	// many scheduler dispatches — a safeguard against algorithms that
+	// loop forever.
+	MaxOps int
+}
+
+// Proc is one virtual processor's handle. It implements comm.Comm,
+// comm.Clock, and comm.IterMarker. Methods must only be called from the
+// algorithm function invoked for this processor.
+type Proc struct {
+	eng  *engine
+	rank int
+
+	clock network.Time
+	state procState
+	// waitSrc is the sender this processor is blocked on (stateBlocked).
+	waitSrc int
+	// recvStart is the clock when the current Recv began, for wait
+	// accounting across block/wake cycles.
+	recvStart network.Time
+	inRecv    bool
+
+	resume chan struct{}
+
+	sends, recvs         int
+	sendBytes, recvBytes int64
+	waitCount            int
+	waitTime             network.Time
+	combineTime          network.Time
+	iter                 int
+	iters                []IterStats
+
+	err error
+}
+
+var _ comm.Comm = (*Proc)(nil)
+var _ comm.Clock = (*Proc)(nil)
+var _ comm.IterMarker = (*Proc)(nil)
+
+type engine struct {
+	net     *network.Network
+	cfg     network.Config
+	p       int
+	procs   []*Proc
+	queues  [][]pending // index src*p+dst
+	yield   chan struct{}
+	opts    Options
+	aborted bool
+}
+
+// errAbort unwinds processor goroutines when the run is abandoned
+// (deadlock or MaxOps), so Run does not leak blocked goroutines.
+type errAbort struct{}
+
+// Run executes fn on every processor of the simulated machine described by
+// net (one processor per placed rank) and returns the timing result. The
+// network's link state and statistics are reset first, so a Network can be
+// reused across runs.
+func Run(net *network.Network, fn func(*Proc), opts Options) (*Result, error) {
+	net.Reset()
+	p := net.Placement().Size()
+	eng := &engine{
+		net:    net,
+		cfg:    net.Config(),
+		p:      p,
+		procs:  make([]*Proc, p),
+		queues: make([][]pending, p*p),
+		yield:  make(chan struct{}),
+		opts:   opts,
+	}
+	for i := 0; i < p; i++ {
+		eng.procs[i] = &Proc{eng: eng, rank: i, iter: -1, resume: make(chan struct{})}
+	}
+	for i := 0; i < p; i++ {
+		pr := eng.procs[i]
+		go func() {
+			<-pr.resume
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(errAbort); !ok {
+						pr.err = fmt.Errorf("sim: rank %d panicked: %v", pr.rank, r)
+					}
+				}
+				pr.state = stateDone
+				eng.yield <- struct{}{}
+			}()
+			if eng.aborted {
+				return
+			}
+			fn(pr)
+		}()
+	}
+	if err := eng.loop(); err != nil {
+		eng.drain()
+		return nil, err
+	}
+	res := &Result{Procs: make([]ProcStats, p), Net: net.Stats()}
+	for i, pr := range eng.procs {
+		if pr.err != nil {
+			return nil, pr.err
+		}
+		if pr.clock > res.Elapsed {
+			res.Elapsed = pr.clock
+		}
+		if len(pr.iters) > res.Iterations {
+			res.Iterations = len(pr.iters)
+		}
+		res.Procs[i] = ProcStats{
+			Rank: i, Finish: pr.clock,
+			Sends: pr.sends, Recvs: pr.recvs,
+			SendBytes: pr.sendBytes, RecvBytes: pr.recvBytes,
+			WaitCount: pr.waitCount, WaitTime: pr.waitTime,
+			CombineTime: pr.combineTime,
+			Iters:       pr.iters,
+		}
+	}
+	return res, nil
+}
+
+// loop is the conservative scheduler: repeatedly run the smallest-clock
+// runnable processor for one operation.
+func (e *engine) loop() error {
+	ops := 0
+	for {
+		if e.opts.MaxOps > 0 {
+			ops++
+			if ops > e.opts.MaxOps {
+				return fmt.Errorf("sim: aborted after %d operations (MaxOps)", e.opts.MaxOps)
+			}
+		}
+		next := -1
+		doneCount, barrierCount := 0, 0
+		for i, pr := range e.procs {
+			switch pr.state {
+			case stateDone:
+				doneCount++
+			case stateBarrier:
+				barrierCount++
+			case stateReady:
+				if next < 0 || pr.clock < e.procs[next].clock {
+					next = i
+				}
+			}
+		}
+		if doneCount == e.p {
+			return nil
+		}
+		if next >= 0 {
+			pr := e.procs[next]
+			pr.resume <- struct{}{}
+			<-e.yield
+			continue
+		}
+		if barrierCount > 0 && barrierCount+doneCount == e.p {
+			e.releaseBarrier()
+			continue
+		}
+		return e.deadlockError()
+	}
+}
+
+// drain terminates every unfinished processor goroutine after the run is
+// abandoned: each is resumed once and unwinds via the errAbort panic in
+// doYield (or skips its function body if it never started).
+func (e *engine) drain() {
+	e.aborted = true
+	for _, pr := range e.procs {
+		if pr.state != stateDone {
+			pr.resume <- struct{}{}
+			<-e.yield
+		}
+	}
+}
+
+// releaseBarrier advances every waiting processor to the common barrier
+// exit instant and makes them runnable again.
+func (e *engine) releaseBarrier() {
+	var t network.Time
+	for _, pr := range e.procs {
+		if pr.state == stateBarrier && pr.clock > t {
+			t = pr.clock
+		}
+	}
+	steps := network.Time(bits.Len(uint(e.p - 1))) // ceil(log2 p)
+	t += steps * (e.cfg.SendOverhead + e.cfg.RecvOverhead + e.cfg.NetStartup)
+	for _, pr := range e.procs {
+		if pr.state == stateBarrier {
+			pr.clock = t
+			pr.state = stateReady
+		}
+	}
+}
+
+func (e *engine) deadlockError() error {
+	msg := "sim: deadlock:"
+	for _, pr := range e.procs {
+		switch pr.state {
+		case stateBlocked:
+			msg += fmt.Sprintf(" rank %d waits on %d;", pr.rank, pr.waitSrc)
+		case stateBarrier:
+			msg += fmt.Sprintf(" rank %d in barrier;", pr.rank)
+		}
+	}
+	for _, pr := range e.procs {
+		if pr.err != nil {
+			msg += " first panic: " + pr.err.Error()
+		}
+	}
+	return errors.New(msg)
+}
+
+// Rank implements comm.Comm.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size implements comm.Comm.
+func (p *Proc) Size() int { return p.eng.p }
+
+// Now returns the processor's current virtual clock.
+func (p *Proc) Now() network.Time { return p.clock }
+
+// doYield hands the token back to the scheduler and blocks until
+// rescheduled. If the run was abandoned meanwhile, it unwinds the
+// processor goroutine.
+func (p *Proc) doYield() {
+	p.eng.yield <- struct{}{}
+	<-p.resume
+	if p.eng.aborted {
+		panic(errAbort{})
+	}
+}
+
+func (p *Proc) curIter() *IterStats {
+	if p.iter < 0 {
+		p.BeginIter(0)
+	}
+	return &p.iters[p.iter]
+}
+
+// Send implements comm.Comm. See the package comment for the cost model.
+func (p *Proc) Send(dst int, m comm.Message) {
+	if dst < 0 || dst >= p.eng.p {
+		panic(fmt.Sprintf("sim: rank %d sends to invalid rank %d", p.rank, dst))
+	}
+	n := m.Len()
+	p.clock += p.eng.cfg.SendOverhead + p.eng.cfg.CopyCost(n)
+	arrival := p.eng.net.Transfer(p.rank, dst, n, p.clock)
+	qi := p.rank*p.eng.p + dst
+	p.eng.queues[qi] = append(p.eng.queues[qi], pending{msg: m, arrival: arrival})
+	p.sends++
+	p.sendBytes += int64(n)
+	it := p.curIter()
+	it.Sends++
+	it.Bytes += int64(n)
+	if t := p.eng.opts.Tracer; t != nil {
+		t.Trace(Event{Kind: "send", Rank: p.rank, Peer: dst, Bytes: n, Parts: len(m.Parts), Tag: m.Tag, Clock: p.clock, Arrival: arrival, Iter: p.iter})
+	}
+	// Wake the destination if it is blocked waiting for exactly us.
+	d := p.eng.procs[dst]
+	if d.state == stateBlocked && d.waitSrc == p.rank {
+		d.state = stateReady
+	}
+	p.doYield()
+}
+
+// Recv implements comm.Comm.
+func (p *Proc) Recv(src int) comm.Message {
+	if src < 0 || src >= p.eng.p {
+		panic(fmt.Sprintf("sim: rank %d receives from invalid rank %d", p.rank, src))
+	}
+	if !p.inRecv {
+		p.inRecv = true
+		p.recvStart = p.clock
+	}
+	for {
+		qi := src*p.eng.p + p.rank
+		q := p.eng.queues[qi]
+		if len(q) > 0 {
+			pd := q[0]
+			p.eng.queues[qi] = q[1:]
+			if pd.arrival > p.recvStart {
+				p.waitCount++
+				p.waitTime += pd.arrival - p.recvStart
+			}
+			if pd.arrival > p.clock {
+				p.clock = pd.arrival
+			}
+			n := pd.msg.Len()
+			p.clock += p.eng.cfg.RecvOverhead + p.eng.cfg.CopyCost(n)
+			p.recvs++
+			p.recvBytes += int64(n)
+			it := p.curIter()
+			it.Recvs++
+			it.Bytes += int64(n)
+			p.inRecv = false
+			if t := p.eng.opts.Tracer; t != nil {
+				t.Trace(Event{Kind: "recv", Rank: p.rank, Peer: src, Bytes: n, Parts: len(pd.msg.Parts), Tag: pd.msg.Tag, Clock: p.clock, Arrival: pd.arrival, Iter: p.iter})
+			}
+			p.doYield()
+			return pd.msg
+		}
+		p.state = stateBlocked
+		p.waitSrc = src
+		p.doYield()
+	}
+}
+
+// Barrier implements comm.Comm.
+func (p *Proc) Barrier() {
+	if t := p.eng.opts.Tracer; t != nil {
+		t.Trace(Event{Kind: "barrier", Rank: p.rank, Clock: p.clock, Iter: p.iter})
+	}
+	p.state = stateBarrier
+	p.doYield()
+}
+
+// AdvanceCombine implements comm.Clock: charge the local cost of merging n
+// received bytes into the accumulated bundle.
+func (p *Proc) AdvanceCombine(n int) {
+	d := p.eng.cfg.CombineCost(n)
+	p.clock += d
+	p.combineTime += d
+	if t := p.eng.opts.Tracer; t != nil {
+		t.Trace(Event{Kind: "combine", Rank: p.rank, Bytes: n, Clock: p.clock, Iter: p.iter})
+	}
+}
+
+// BeginIter implements comm.IterMarker.
+func (p *Proc) BeginIter(i int) {
+	if i < 0 {
+		panic(fmt.Sprintf("sim: rank %d begins negative iteration %d", p.rank, i))
+	}
+	for len(p.iters) <= i {
+		p.iters = append(p.iters, IterStats{})
+	}
+	p.iter = i
+}

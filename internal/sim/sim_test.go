@@ -1,0 +1,355 @@
+package sim
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+// flatCfg is a cost model with round numbers so tests can compute expected
+// clocks by hand: send 10ns, recv 20ns, 1ns/byte copy both sides, wire
+// startup 5ns, 1ns/hop, 1 byte/ns bandwidth, 2ns/byte combining.
+func flatCfg() network.Config {
+	return network.Config{
+		Name:          "flat",
+		SendOverhead:  10,
+		RecvOverhead:  20,
+		ByteCopyNS:    1,
+		CombineByteNS: 2,
+		NetStartup:    5,
+		HopLatency:    1,
+		LinkBandwidth: 1e9, // 1 byte per ns
+		Switching:     network.Wormhole,
+	}
+}
+
+func lineNet(t *testing.T, n int) *network.Network {
+	t.Helper()
+	topo := topology.MustMesh2D(1, n)
+	nw, err := network.New(topo, topology.IdentityPlacement(n), flatCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func run(t *testing.T, nw *network.Network, fn func(*Proc)) *Result {
+	t.Helper()
+	res, err := Run(nw, fn, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func payload(n int) []byte { return make([]byte, n) }
+
+func TestPingTiming(t *testing.T) {
+	nw := lineNet(t, 2)
+	res := run(t, nw, func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			p.Send(1, comm.Message{Parts: []comm.Part{{Origin: 0, Data: payload(100)}}})
+		case 1:
+			m := p.Recv(0)
+			if m.Len() != 100 {
+				t.Errorf("recv len = %d", m.Len())
+			}
+		}
+	})
+	// Sender: 10 (send) + 100 (copy) = 110. Wire: 5 + 1 + 100 = 106,
+	// arrival 216. Receiver: max(0,216) + 20 + 100 = 336.
+	if got := res.Procs[0].Finish; got != 110 {
+		t.Errorf("sender finish = %d, want 110", got)
+	}
+	if got := res.Procs[1].Finish; got != 336 {
+		t.Errorf("receiver finish = %d, want 336", got)
+	}
+	if res.Elapsed != 336 {
+		t.Errorf("elapsed = %d, want 336", res.Elapsed)
+	}
+	if res.Procs[1].WaitCount != 1 || res.Procs[1].WaitTime != 216 {
+		t.Errorf("wait = %d/%d, want 1/216", res.Procs[1].WaitCount, res.Procs[1].WaitTime)
+	}
+}
+
+func TestNoWaitWhenMessageEarly(t *testing.T) {
+	// Receiver that is already past the arrival instant records no wait.
+	nw := lineNet(t, 2)
+	res := run(t, nw, func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			p.Send(1, comm.Message{Parts: []comm.Part{{Data: payload(10)}}})
+		case 1:
+			p.AdvanceCombine(1000) // clock = 2000 > arrival 51
+			p.Recv(0)
+		}
+	})
+	if res.Procs[1].WaitCount != 0 {
+		t.Errorf("wait count = %d, want 0", res.Procs[1].WaitCount)
+	}
+	// Receiver: 2000 + 20 + 10 = 2030.
+	if got := res.Procs[1].Finish; got != 2030 {
+		t.Errorf("receiver finish = %d, want 2030", got)
+	}
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	nw := lineNet(t, 2)
+	var got []int
+	run(t, nw, func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			for i := 0; i < 5; i++ {
+				p.Send(1, comm.Message{Tag: i, Parts: []comm.Part{{Data: payload(8)}}})
+			}
+		case 1:
+			for i := 0; i < 5; i++ {
+				got = append(got, p.Recv(0).Tag)
+			}
+		}
+	})
+	for i, tag := range got {
+		if tag != i {
+			t.Fatalf("messages reordered: %v", got)
+		}
+	}
+}
+
+func TestExchangeBothDirections(t *testing.T) {
+	nw := lineNet(t, 2)
+	run(t, nw, func(p *Proc) {
+		other := 1 - p.Rank()
+		m := comm.Exchange(p, other, comm.Message{Parts: []comm.Part{{Origin: p.Rank(), Data: payload(4)}}})
+		if len(m.Parts) != 1 || m.Parts[0].Origin != other {
+			t.Errorf("rank %d got %v", p.Rank(), m)
+		}
+	})
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	nw := lineNet(t, 4)
+	res := run(t, nw, func(p *Proc) {
+		// Skew the clocks, then meet at the barrier.
+		p.AdvanceCombine(100 * (p.Rank() + 1))
+		p.Barrier()
+	})
+	var first network.Time
+	for i, ps := range res.Procs {
+		if i == 0 {
+			first = ps.Finish
+			continue
+		}
+		if ps.Finish != first {
+			t.Fatalf("barrier left clocks skewed: %v vs %v", ps.Finish, first)
+		}
+	}
+	// Slowest pre-barrier clock is 800 (rank 3: 100*4 combine at 2ns/B).
+	if first <= 800 {
+		t.Fatalf("barrier exit %d not after slowest entry", first)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	prog := func(p *Proc) {
+		comm.MarkIter(p, 0)
+		right := (p.Rank() + 1) % p.Size()
+		left := (p.Rank() - 1 + p.Size()) % p.Size()
+		p.Send(right, comm.Message{Parts: []comm.Part{{Origin: p.Rank(), Data: payload(256)}}})
+		p.Recv(left)
+		comm.MarkIter(p, 1)
+		p.Send(left, comm.Message{Parts: []comm.Part{{Origin: p.Rank(), Data: payload(512)}}})
+		p.Recv(right)
+	}
+	nw := lineNet(t, 8)
+	a := run(t, nw, prog)
+	b := run(t, nw, prog)
+	if a.Elapsed != b.Elapsed {
+		t.Fatalf("non-deterministic elapsed: %d vs %d", a.Elapsed, b.Elapsed)
+	}
+	for i := range a.Procs {
+		if a.Procs[i].Finish != b.Procs[i].Finish {
+			t.Fatalf("rank %d finish differs: %d vs %d", i, a.Procs[i].Finish, b.Procs[i].Finish)
+		}
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	nw := lineNet(t, 2)
+	_, err := Run(nw, func(p *Proc) {
+		p.Recv(1 - p.Rank()) // both receive first: classic deadlock
+	}, Options{})
+	if err == nil {
+		t.Fatal("deadlock not detected")
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestPartialBarrierIsDeadlock(t *testing.T) {
+	nw := lineNet(t, 3)
+	_, err := Run(nw, func(p *Proc) {
+		if p.Rank() == 2 {
+			p.Recv(0) // never sent
+			return
+		}
+		p.Barrier()
+	}, Options{})
+	if err == nil {
+		t.Fatal("stuck barrier not detected")
+	}
+}
+
+func TestPanicSurfacesAsError(t *testing.T) {
+	nw := lineNet(t, 2)
+	_, err := Run(nw, func(p *Proc) {
+		if p.Rank() == 1 {
+			panic("boom")
+		}
+		// Rank 0 blocks forever waiting for rank 1.
+		p.Recv(1)
+	}, Options{})
+	if err == nil {
+		t.Fatal("panic not surfaced")
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error does not mention panic: %v", err)
+	}
+}
+
+func TestIterationStats(t *testing.T) {
+	nw := lineNet(t, 2)
+	res := run(t, nw, func(p *Proc) {
+		comm.MarkIter(p, 0)
+		other := 1 - p.Rank()
+		comm.Exchange(p, other, comm.Message{Parts: []comm.Part{{Data: payload(64)}}})
+		comm.MarkIter(p, 1)
+		comm.Exchange(p, other, comm.Message{Parts: []comm.Part{{Data: payload(128)}}})
+	})
+	if res.Iterations != 2 {
+		t.Fatalf("iterations = %d, want 2", res.Iterations)
+	}
+	for rank, ps := range res.Procs {
+		if len(ps.Iters) != 2 {
+			t.Fatalf("rank %d has %d iteration records", rank, len(ps.Iters))
+		}
+		for i, want := range []int64{128, 256} { // 64 sent + 64 received, then 128+128
+			if ps.Iters[i].Sends != 1 || ps.Iters[i].Recvs != 1 || ps.Iters[i].Bytes != want {
+				t.Fatalf("rank %d iter %d = %+v", rank, i, ps.Iters[i])
+			}
+		}
+	}
+}
+
+func TestContentionVisibleInElapsed(t *testing.T) {
+	// Many senders hammering rank 0 must take longer than a single send,
+	// because of receiver serialization and shared links near the root.
+	nw := lineNet(t, 8)
+	gather := func(p *Proc) {
+		if p.Rank() == 0 {
+			for src := 1; src < p.Size(); src++ {
+				p.Recv(src)
+			}
+			return
+		}
+		p.Send(0, comm.Message{Parts: []comm.Part{{Data: payload(1024)}}})
+	}
+	res := run(t, nw, gather)
+	single := run(t, lineNet(t, 8), func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Recv(7)
+		}
+		if p.Rank() == 7 {
+			p.Send(0, comm.Message{Parts: []comm.Part{{Data: payload(1024)}}})
+		}
+	})
+	// The link into rank 0 serializes all seven wormholes, so the gather
+	// must take at least seven single-hop wire times plus the final
+	// receive's software cost (overhead 20 + copy 1024).
+	floor := 7*flatCfg().WireTime(1, 1024) + 20 + 1024
+	if res.Elapsed < floor {
+		t.Fatalf("7-way gather (%d) below serialization floor (%d)", res.Elapsed, floor)
+	}
+	if res.Elapsed < 2*single.Elapsed {
+		t.Fatalf("7-way gather (%d) not ≥2× a single far send (%d)", res.Elapsed, single.Elapsed)
+	}
+}
+
+type countTracer struct{ events int }
+
+func (c *countTracer) Trace(Event) { c.events++ }
+
+func TestTracerReceivesEvents(t *testing.T) {
+	nw := lineNet(t, 2)
+	tr := &countTracer{}
+	_, err := Run(nw, func(p *Proc) {
+		p.Barrier()
+		if p.Rank() == 0 {
+			p.Send(1, comm.Message{Parts: []comm.Part{{Data: payload(1)}}})
+		} else {
+			p.Recv(0)
+		}
+	}, Options{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 barriers + 1 send + 1 recv.
+	if tr.events != 4 {
+		t.Fatalf("tracer saw %d events, want 4", tr.events)
+	}
+}
+
+func TestSendToSelf(t *testing.T) {
+	nw := lineNet(t, 2)
+	res := run(t, nw, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(0, comm.Message{Tag: 9, Parts: []comm.Part{{Data: payload(32)}}})
+			if m := p.Recv(0); m.Tag != 9 {
+				t.Errorf("self recv tag = %d", m.Tag)
+			}
+		}
+	})
+	if res.Procs[0].Sends != 1 || res.Procs[0].Recvs != 1 {
+		t.Fatalf("self send not counted: %+v", res.Procs[0])
+	}
+}
+
+func TestMaxOpsAborts(t *testing.T) {
+	nw := lineNet(t, 2)
+	_, err := Run(nw, func(p *Proc) {
+		// An endless ping-pong that would otherwise never terminate.
+		for {
+			comm.Exchange(p, 1-p.Rank(), comm.Message{Parts: []comm.Part{{Data: payload(1)}}})
+		}
+	}, Options{MaxOps: 1000})
+	if err == nil || !strings.Contains(err.Error(), "MaxOps") {
+		t.Fatalf("runaway algorithm not aborted: %v", err)
+	}
+}
+
+func TestAbortDrainsGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		nw := lineNet(t, 4)
+		_, err := Run(nw, func(p *Proc) {
+			p.Recv((p.Rank() + 1) % p.Size()) // circular wait: deadlock
+		}, Options{})
+		if err == nil {
+			t.Fatal("deadlock not detected")
+		}
+	}
+	// Give unwound goroutines a moment to exit, then check for leaks.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before+4 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

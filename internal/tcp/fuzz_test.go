@@ -1,0 +1,41 @@
+package tcp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// FuzzFrameDecode feeds arbitrary bytes to the frame decoder: it must
+// either return a valid message or an error, never panic or over-allocate.
+func FuzzFrameDecode(f *testing.F) {
+	var seed bytes.Buffer
+	_ = writeFrame(&seed, comm.Message{Tag: 1, Parts: []comm.Part{{Origin: 2, Data: []byte("ab")}}})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = readFrame(bytes.NewReader(data))
+	})
+}
+
+// FuzzFrameRoundTrip encodes fuzz-built messages and decodes them back.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(0, 3, []byte("payload"))
+	f.Add(-5, 0, []byte{})
+	f.Fuzz(func(t *testing.T, tag, origin int, data []byte) {
+		m := comm.Message{Tag: tag, Parts: []comm.Part{{Origin: origin, Data: data}}}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Tag != tag || got.Parts[0].Origin != origin || !bytes.Equal(got.Parts[0].Data, data) {
+			t.Fatalf("round trip mismatch: %+v", got)
+		}
+	})
+}

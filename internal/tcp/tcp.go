@@ -1,0 +1,369 @@
+// Package tcp executes an algorithm over real TCP sockets: every
+// processor owns a loopback listener, the machine is fully connected with
+// one TCP connection per processor pair, and messages travel as
+// length-prefixed frames. It is the distributed-transport engine of the
+// repro hint ("channels/gRPC approximation" of MPI): where internal/live
+// approximates message passing with in-process mailboxes, this engine
+// moves every byte through the kernel's network stack, exercising the
+// same algorithm code over a transport with real serialization.
+//
+// Semantics match the other engines: blocking Send/Recv with FIFO order
+// per (sender, receiver) pair, and a Barrier (dissemination barrier over
+// the same transport). Run sets the machine up, executes the algorithm on
+// every processor, and tears all connections down.
+package tcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// frame layout: [tag int32][nparts int32] then per part
+// [origin int32][len int32][payload]. The sender is identified by the
+// connection; a per-frame magic is unnecessary on an owned socket.
+
+const (
+	// barrierTag marks dissemination-barrier frames.
+	barrierTag = -1
+	// maxPartLen guards against corrupt length prefixes.
+	maxPartLen = 1 << 30
+)
+
+func writeFrame(w io.Writer, m comm.Message) error {
+	hdr := make([]byte, 8)
+	binary.BigEndian.PutUint32(hdr[0:], uint32(int32(m.Tag)))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(int32(len(m.Parts))))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	ph := make([]byte, 8)
+	for _, part := range m.Parts {
+		binary.BigEndian.PutUint32(ph[0:], uint32(int32(part.Origin)))
+		binary.BigEndian.PutUint32(ph[4:], uint32(int32(len(part.Data))))
+		if _, err := w.Write(ph); err != nil {
+			return err
+		}
+		if _, err := w.Write(part.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readFrame(r io.Reader) (comm.Message, error) {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return comm.Message{}, err
+	}
+	tag := int(int32(binary.BigEndian.Uint32(hdr[0:])))
+	nparts := int(int32(binary.BigEndian.Uint32(hdr[4:])))
+	if nparts < 0 || nparts > 1<<20 {
+		return comm.Message{}, fmt.Errorf("tcp: corrupt frame: %d parts", nparts)
+	}
+	m := comm.Message{Tag: tag, Parts: make([]comm.Part, nparts)}
+	ph := make([]byte, 8)
+	for i := 0; i < nparts; i++ {
+		if _, err := io.ReadFull(r, ph); err != nil {
+			return comm.Message{}, err
+		}
+		origin := int(int32(binary.BigEndian.Uint32(ph[0:])))
+		n := int(int32(binary.BigEndian.Uint32(ph[4:])))
+		if n < 0 || n > maxPartLen {
+			return comm.Message{}, fmt.Errorf("tcp: corrupt frame: part of %d bytes", n)
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return comm.Message{}, err
+		}
+		m.Parts[i] = comm.Part{Origin: origin, Data: data}
+	}
+	return m, nil
+}
+
+// inbox is one processor's per-source message queues.
+type inbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	boxes [][]comm.Message
+	dead  error
+}
+
+func (ib *inbox) push(src int, m comm.Message) {
+	ib.mu.Lock()
+	ib.boxes[src] = append(ib.boxes[src], m)
+	ib.cond.Broadcast()
+	ib.mu.Unlock()
+}
+
+func (ib *inbox) fail(err error) {
+	ib.mu.Lock()
+	if ib.dead == nil {
+		ib.dead = err
+	}
+	ib.cond.Broadcast()
+	ib.mu.Unlock()
+}
+
+func (ib *inbox) pop(src int) (comm.Message, error) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for len(ib.boxes[src]) == 0 {
+		if ib.dead != nil {
+			return comm.Message{}, ib.dead
+		}
+		ib.cond.Wait()
+	}
+	m := ib.boxes[src][0]
+	ib.boxes[src] = ib.boxes[src][1:]
+	return m, nil
+}
+
+// Proc is one processor's handle on the TCP machine. It implements
+// comm.Comm; methods must only be called from the algorithm goroutine.
+type Proc struct {
+	rank  int
+	size  int
+	conns []net.Conn // conns[peer], nil at own rank
+	wmu   []sync.Mutex
+	in    *inbox
+
+	sends, recvs         int
+	sendBytes, recvBytes int64
+}
+
+var _ comm.Comm = (*Proc)(nil)
+
+// Rank implements comm.Comm.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size implements comm.Comm.
+func (p *Proc) Size() int { return p.size }
+
+// Send implements comm.Comm: frame the message onto the pair's socket.
+// Self-sends short-circuit through the local inbox.
+func (p *Proc) Send(dst int, m comm.Message) {
+	if dst < 0 || dst >= p.size {
+		panic(fmt.Sprintf("tcp: rank %d sends to invalid rank %d", p.rank, dst))
+	}
+	p.sends++
+	p.sendBytes += int64(m.Len())
+	if dst == p.rank {
+		p.in.push(p.rank, m)
+		return
+	}
+	p.wmu[dst].Lock()
+	err := writeFrame(p.conns[dst], m)
+	p.wmu[dst].Unlock()
+	if err != nil {
+		panic(fmt.Errorf("tcp: rank %d send to %d: %w", p.rank, dst, err))
+	}
+}
+
+// Recv implements comm.Comm.
+func (p *Proc) Recv(src int) comm.Message {
+	if src < 0 || src >= p.size {
+		panic(fmt.Sprintf("tcp: rank %d receives from invalid rank %d", p.rank, src))
+	}
+	m, err := p.in.pop(src)
+	if err != nil {
+		panic(fmt.Errorf("tcp: rank %d recv from %d: %w", p.rank, src, err))
+	}
+	p.recvs++
+	p.recvBytes += int64(m.Len())
+	return m
+}
+
+// Barrier implements comm.Comm as a dissemination barrier over the wire:
+// ⌈log2 p⌉ rounds of empty frames.
+func (p *Proc) Barrier() {
+	for k := 1; k < p.size; k <<= 1 {
+		p.Send((p.rank+k)%p.size, comm.Message{Tag: barrierTag})
+		p.Recv((p.rank - k + p.size) % p.size)
+	}
+}
+
+// ProcStats counts one processor's operations.
+type ProcStats struct {
+	Rank      int
+	Sends     int
+	Recvs     int
+	SendBytes int64
+	RecvBytes int64
+}
+
+// Result is the outcome of a TCP run.
+type Result struct {
+	// Elapsed is the wall-clock duration of the algorithm phase
+	// (connection setup excluded).
+	Elapsed time.Duration
+	// Procs holds per-processor operation counts.
+	Procs []ProcStats
+}
+
+// Run builds a fully connected loopback TCP machine of p processors,
+// executes fn on each, and tears the machine down. A panic on any
+// processor aborts the run and is returned as an error.
+func Run(p int, fn func(*Proc)) (*Result, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("tcp: non-positive processor count %d", p)
+	}
+	procs, cleanup, err := setup(p)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < p; i++ {
+		pr := procs[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[pr.rank] = fmt.Errorf("tcp: rank %d: %v", pr.rank, r)
+					// Fail fast: poison every inbox so blocked peers
+					// unwind instead of hanging on a dead processor.
+					for _, other := range procs {
+						other.in.fail(fmt.Errorf("machine aborted by rank %d", pr.rank))
+					}
+				}
+			}()
+			fn(pr)
+		}()
+	}
+	wg.Wait()
+	res := &Result{Elapsed: time.Since(start), Procs: make([]ProcStats, p)}
+	for i, pr := range procs {
+		res.Procs[i] = ProcStats{Rank: i, Sends: pr.sends, Recvs: pr.recvs, SendBytes: pr.sendBytes, RecvBytes: pr.recvBytes}
+	}
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return res, nil
+}
+
+// setup listens on p loopback ports and builds the full mesh of
+// connections: rank i dials every rank j < i; the accepting side learns
+// the dialer's rank from a one-byte-frame handshake.
+func setup(p int) ([]*Proc, func(), error) {
+	listeners := make([]net.Listener, p)
+	procs := make([]*Proc, p)
+	for i := 0; i < p; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, fmt.Errorf("tcp: listen for rank %d: %w", i, err)
+		}
+		listeners[i] = ln
+		in := &inbox{boxes: make([][]comm.Message, p)}
+		in.cond = sync.NewCond(&in.mu)
+		procs[i] = &Proc{rank: i, size: p, conns: make([]net.Conn, p), wmu: make([]sync.Mutex, p), in: in}
+	}
+	cleanup := func() {
+		for _, ln := range listeners {
+			ln.Close()
+		}
+		for _, pr := range procs {
+			for _, c := range pr.conns {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, p*p)
+	// Accept side: rank j accepts p-1-j connections (from all i > j).
+	for j := 0; j < p; j++ {
+		expect := p - 1 - j
+		if expect == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(j, expect int) {
+			defer wg.Done()
+			for k := 0; k < expect; k++ {
+				conn, err := listeners[j].Accept()
+				if err != nil {
+					errCh <- fmt.Errorf("tcp: accept at rank %d: %w", j, err)
+					return
+				}
+				var hs [4]byte
+				if _, err := io.ReadFull(conn, hs[:]); err != nil {
+					errCh <- fmt.Errorf("tcp: handshake at rank %d: %w", j, err)
+					return
+				}
+				peer := int(int32(binary.BigEndian.Uint32(hs[:])))
+				if peer <= j || peer >= p {
+					errCh <- fmt.Errorf("tcp: rank %d handshake from invalid peer %d", j, peer)
+					return
+				}
+				procs[j].conns[peer] = conn
+			}
+		}(j, expect)
+	}
+	// Dial side: rank i dials every j < i and announces itself.
+	for i := 1; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < i; j++ {
+				conn, err := net.Dial("tcp", listeners[j].Addr().String())
+				if err != nil {
+					errCh <- fmt.Errorf("tcp: rank %d dial %d: %w", i, j, err)
+					return
+				}
+				var hs [4]byte
+				binary.BigEndian.PutUint32(hs[:], uint32(int32(i)))
+				if _, err := conn.Write(hs[:]); err != nil {
+					errCh <- fmt.Errorf("tcp: rank %d handshake to %d: %w", i, j, err)
+					return
+				}
+				procs[i].conns[j] = conn
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		cleanup()
+		return nil, nil, err
+	default:
+	}
+
+	// Reader pumps: one goroutine per connection end decodes frames into
+	// the owner's inbox. They exit when the connection closes at
+	// teardown.
+	for i := 0; i < p; i++ {
+		pr := procs[i]
+		for peer, conn := range pr.conns {
+			if conn == nil {
+				continue
+			}
+			go func(pr *Proc, peer int, conn net.Conn) {
+				for {
+					m, err := readFrame(conn)
+					if err != nil {
+						// Normal at teardown; poison only if the
+						// machine is still live (pop handles nil dead).
+						pr.in.fail(fmt.Errorf("tcp: connection %d→%d: %w", peer, pr.rank, err))
+						return
+					}
+					pr.in.push(peer, m)
+				}
+			}(pr, peer, conn)
+		}
+	}
+	return procs, cleanup, nil
+}

@@ -1,0 +1,203 @@
+package tcp
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/topology"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	m := comm.Message{Tag: 42, Parts: []comm.Part{
+		{Origin: 3, Data: []byte("hello")},
+		{Origin: 9, Data: nil},
+		{Origin: 0, Data: bytes.Repeat([]byte{0xAB}, 10000)},
+	}}
+	if err := writeFrame(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag != 42 || len(got.Parts) != 3 {
+		t.Fatalf("frame header: %+v", got)
+	}
+	for i := range m.Parts {
+		if got.Parts[i].Origin != m.Parts[i].Origin {
+			t.Fatalf("part %d origin %d", i, got.Parts[i].Origin)
+		}
+		if !bytes.Equal(got.Parts[i].Data, m.Parts[i].Data) {
+			t.Fatalf("part %d payload corrupted", i)
+		}
+	}
+}
+
+func TestFrameRejectsCorruptHeader(t *testing.T) {
+	// A negative part count must not allocate.
+	buf := []byte{0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := readFrame(bytes.NewReader(buf)); err == nil {
+		t.Fatal("corrupt frame accepted")
+	}
+}
+
+func TestPingPongOverTCP(t *testing.T) {
+	res, err := Run(2, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, comm.Message{Tag: 7, Parts: []comm.Part{{Origin: 0, Data: []byte("over the wire")}}})
+			m := p.Recv(1)
+			if string(m.Parts[0].Data) != "ack" {
+				t.Errorf("rank 0 got %q", m.Parts[0].Data)
+			}
+		} else {
+			m := p.Recv(0)
+			if m.Tag != 7 || string(m.Parts[0].Data) != "over the wire" {
+				t.Errorf("rank 1 got %+v", m)
+			}
+			p.Send(0, comm.Message{Parts: []comm.Part{{Origin: 1, Data: []byte("ack")}}})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Procs[0].Sends != 1 || res.Procs[1].RecvBytes == 0 {
+		t.Fatalf("stats: %+v", res.Procs)
+	}
+}
+
+func TestBarrierOverTCP(t *testing.T) {
+	_, err := Run(6, func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	_, err := Run(3, func(p *Proc) {
+		p.Send(p.Rank(), comm.Message{Tag: 5, Parts: []comm.Part{{Origin: p.Rank(), Data: []byte{byte(p.Rank())}}}})
+		m := p.Recv(p.Rank())
+		if m.Tag != 5 || m.Parts[0].Data[0] != byte(p.Rank()) {
+			t.Errorf("rank %d self message %+v", p.Rank(), m)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOPerPairOverTCP(t *testing.T) {
+	const n = 100
+	_, err := Run(2, func(p *Proc) {
+		if p.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				p.Send(1, comm.Message{Tag: i, Parts: []comm.Part{{Data: []byte{byte(i)}}}})
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if m := p.Recv(0); m.Tag != i {
+					t.Errorf("out of order: got %d want %d", m.Tag, i)
+					return
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoreAlgorithmsOverTCP runs the full algorithm registry over real
+// sockets on a 3×4 machine — the same correctness matrix the other two
+// engines pass.
+func TestCoreAlgorithmsOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket matrix")
+	}
+	const r, c, s = 3, 4, 5
+	sources, err := dist.Cross().Sources(r, c, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := core.Spec{Rows: r, Cols: c, Sources: sources, Indexing: topology.SnakeRowMajor}
+	for _, alg := range core.Registry() {
+		out := make([]comm.Message, r*c)
+		_, err := Run(r*c, func(p *Proc) {
+			mine := core.InitialMessage(spec, p.Rank(), []byte(fmt.Sprintf("tcp-%d", p.Rank())))
+			out[p.Rank()] = alg.Run(p, spec, mine)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		for rank, m := range out {
+			if !reflect.DeepEqual(m.Origins(), sources) {
+				t.Fatalf("%s: rank %d origins %v, want %v", alg.Name(), rank, m.Origins(), sources)
+			}
+			for _, part := range m.Parts {
+				if want := fmt.Sprintf("tcp-%d", part.Origin); string(part.Data) != want {
+					t.Fatalf("%s: rank %d payload %q", alg.Name(), rank, part.Data)
+				}
+			}
+		}
+	}
+}
+
+func TestCollectivesOverTCP(t *testing.T) {
+	const p = 8
+	out := make([]comm.Message, p)
+	_, err := Run(p, func(pr *Proc) {
+		m := comm.Message{Parts: []comm.Part{{Origin: pr.Rank(), Data: []byte{byte(pr.Rank())}}}}
+		out[pr.Rank()] = collective.AllgatherRing(pr, m)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, m := range out {
+		if len(m.Parts) != p {
+			t.Fatalf("rank %d gathered %d parts", rank, len(m.Parts))
+		}
+	}
+}
+
+func TestPanicAbortsTCPMachine(t *testing.T) {
+	_, err := Run(4, func(p *Proc) {
+		if p.Rank() == 2 {
+			panic("wire fault")
+		}
+		p.Recv(2) // would hang without the abort
+	})
+	if err == nil {
+		t.Fatal("fault not reported")
+	}
+	if !strings.Contains(err.Error(), "wire fault") && !strings.Contains(err.Error(), "aborted") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestInvalidCount(t *testing.T) {
+	if _, err := Run(0, func(*Proc) {}); err == nil {
+		t.Fatal("Run(0) accepted")
+	}
+}
+
+func TestSingleProcessorTCP(t *testing.T) {
+	_, err := Run(1, func(p *Proc) {
+		p.Barrier()
+		p.Send(0, comm.Message{Parts: []comm.Part{{Data: []byte("x")}}})
+		p.Recv(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+// Package trace records simulator events for inspection and export. A
+// Recorder plugs into sim.Options.Tracer; afterwards the events can be
+// dumped as JSON lines (one event per line) or summarized per kind.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Recorder accumulates simulator events. It is used from within a single
+// scheduler, so it needs no locking.
+type Recorder struct {
+	// Events holds every traced event in simulation order.
+	Events []sim.Event
+	// Cap, when positive, bounds the number of retained events; further
+	// events only update the counters.
+	Cap    int
+	counts map[string]int
+}
+
+// NewRecorder returns a Recorder retaining at most cap events (0 = all).
+func NewRecorder(cap int) *Recorder {
+	return &Recorder{Cap: cap, counts: make(map[string]int)}
+}
+
+// Trace implements sim.Tracer.
+func (r *Recorder) Trace(e sim.Event) {
+	if r.counts == nil {
+		r.counts = make(map[string]int)
+	}
+	r.counts[e.Kind]++
+	if r.Cap > 0 && len(r.Events) >= r.Cap {
+		return
+	}
+	r.Events = append(r.Events, e)
+}
+
+// Count returns how many events of the kind were traced (including events
+// dropped by Cap).
+func (r *Recorder) Count(kind string) int { return r.counts[kind] }
+
+// WriteJSON writes the retained events as JSON lines.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.Events {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("trace: encoding event: %w", err)
+		}
+	}
+	return nil
+}
+
+// Summary renders per-kind event counts, sorted by kind.
+func (r *Recorder) Summary() string {
+	kinds := make([]string, 0, len(r.counts))
+	for k := range r.counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, len(kinds))
+	for i, k := range kinds {
+		parts[i] = fmt.Sprintf("%s=%d", k, r.counts[k])
+	}
+	return strings.Join(parts, " ")
+}

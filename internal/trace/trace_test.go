@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func events(n int) []sim.Event {
+	out := make([]sim.Event, n)
+	for i := range out {
+		kind := "send"
+		if i%2 == 1 {
+			kind = "recv"
+		}
+		out[i] = sim.Event{Kind: kind, Rank: i % 4, Peer: (i + 1) % 4, Bytes: 100 + i, Clock: 1000}
+	}
+	return out
+}
+
+func TestRecorderCountsAndRetains(t *testing.T) {
+	r := NewRecorder(0)
+	for _, e := range events(10) {
+		r.Trace(e)
+	}
+	if len(r.Events) != 10 {
+		t.Fatalf("retained %d events", len(r.Events))
+	}
+	if r.Count("send") != 5 || r.Count("recv") != 5 {
+		t.Fatalf("counts: send=%d recv=%d", r.Count("send"), r.Count("recv"))
+	}
+	if r.Count("barrier") != 0 {
+		t.Fatal("phantom barrier count")
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	r := NewRecorder(3)
+	for _, e := range events(10) {
+		r.Trace(e)
+	}
+	if len(r.Events) != 3 {
+		t.Fatalf("cap ignored: %d events retained", len(r.Events))
+	}
+	// Counters still see everything.
+	if r.Count("send")+r.Count("recv") != 10 {
+		t.Fatalf("counters dropped events: %s", r.Summary())
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRecorder(0)
+	for _, e := range events(5) {
+		r.Trace(e)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var e sim.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if e.Kind != r.Events[n].Kind || e.Bytes != r.Events[n].Bytes {
+			t.Fatalf("line %d mismatch: %+v vs %+v", n, e, r.Events[n])
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("wrote %d lines", n)
+	}
+}
+
+func TestSummarySorted(t *testing.T) {
+	r := NewRecorder(0)
+	r.Trace(sim.Event{Kind: "send"})
+	r.Trace(sim.Event{Kind: "barrier"})
+	r.Trace(sim.Event{Kind: "send"})
+	got := r.Summary()
+	if got != "barrier=1 send=2" {
+		t.Fatalf("Summary = %q", got)
+	}
+	if strings.Contains(got, "recv") {
+		t.Fatal("phantom kind in summary")
+	}
+}
+
+func TestZeroValueRecorderUsable(t *testing.T) {
+	var r Recorder
+	r.Trace(sim.Event{Kind: "send"})
+	if r.Count("send") != 1 {
+		t.Fatal("zero-value recorder dropped event")
+	}
+}

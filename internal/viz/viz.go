@@ -1,0 +1,87 @@
+// Package viz renders small ASCII visualizations of simulation results:
+// a link-load heatmap over the 2-D mesh (the congestion pictures behind
+// the paper's hot-spot arguments) and simple horizontal bar charts for
+// experiment series.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+// heatRunes maps normalized load 0..1 onto a 10-step ramp.
+var heatRunes = []byte(" .:-=+*#%@")
+
+// Heatmap renders per-node load on an r×c mesh as a character grid: ' '
+// is idle, '@' the busiest node. Node order is row-major (the machine's
+// rank order under identity placement). The scale is normalized to the
+// grid's own maximum; use HeatmapWithMax to compare runs on one scale.
+func Heatmap(mesh *topology.Mesh2D, load []network.Time) string {
+	var max network.Time
+	for _, v := range load {
+		if v > max {
+			max = v
+		}
+	}
+	return HeatmapWithMax(mesh, load, max)
+}
+
+// HeatmapWithMax renders like Heatmap but normalizes against the given
+// maximum, so several grids share one scale.
+func HeatmapWithMax(mesh *topology.Mesh2D, load []network.Time, max network.Time) string {
+	if len(load) != mesh.Nodes() {
+		return fmt.Sprintf("viz: %d load values for %d nodes", len(load), mesh.Nodes())
+	}
+	var b strings.Builder
+	for r := 0; r < mesh.Rows; r++ {
+		for c := 0; c < mesh.Cols; c++ {
+			v := load[mesh.Node(r, c)]
+			idx := 0
+			if max > 0 {
+				idx = int(int64(v) * int64(len(heatRunes)-1) / int64(max))
+			}
+			b.WriteByte(heatRunes[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Bars renders labelled values as a horizontal bar chart, scaled to the
+// given width. Used by cmd/stpbench's -plot mode.
+func Bars(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		return fmt.Sprintf("viz: %d labels for %d values", len(labels), len(values))
+	}
+	if width <= 0 {
+		width = 40
+	}
+	var max float64
+	labelWidth := 0
+	for i, v := range values {
+		if v > max {
+			max = v
+		}
+		if len(labels[i]) > labelWidth {
+			labelWidth = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := 0
+		if max > 0 && v > 0 {
+			n = int(v / max * float64(width))
+		}
+		fmt.Fprintf(&b, "%-*s %8.3f %s\n", labelWidth, labels[i], v, strings.Repeat("█", n))
+	}
+	return b.String()
+}
+
+// SeriesChart renders one curve of (x-label, value) points as bars — a
+// terminal-friendly stand-in for the paper's line plots.
+func SeriesChart(title string, xLabels []string, values []float64, width int) string {
+	return title + "\n" + Bars(xLabels, values, width)
+}

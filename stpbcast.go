@@ -1,0 +1,340 @@
+// Package stpbcast is a library for scalable s-to-p broadcasting on
+// message-passing machines, reproducing Hambrusch, Khokhar and Liu,
+// "Scalable S-to-P Broadcasting on Message-Passing MPPs" (ICPP 1996).
+//
+// In s-to-p broadcasting, s of the p processors each hold a message that
+// must reach all p processors. The package provides:
+//
+//   - the paper's algorithm suite — the library baselines 2-Step and
+//     PersAlltoAll, the message-combining algorithms Br_Lin,
+//     Br_xy_source and Br_xy_dim, the repositioning algorithms Repos_*,
+//     and the partitioning algorithms Part_* — plus ring and
+//     recursive-doubling all-gather ablations;
+//   - the paper's source distributions (row, column, equal, diagonals,
+//     band, cross, square block) and the ideal-distribution generators
+//     the repositioning algorithms target;
+//   - two execution engines behind one interface: a deterministic
+//     discrete-event simulator of the Intel Paragon (2-D mesh, NX/MPI)
+//     and Cray T3D (3-D torus, MPI) with contention-aware wormhole
+//     routing, and a live goroutine runtime that moves real bytes;
+//   - per-run metrics (the paper's congestion / wait / send-rec /
+//     av_msg_lgth / av_act_proc parameters) and event traces;
+//   - one experiment per table and figure of the paper's evaluation
+//     (see Experiments and cmd/stpbench).
+//
+// # Quick start
+//
+//	m := stpbcast.NewParagon(10, 10)
+//	res, err := stpbcast.Simulate(m, stpbcast.Config{
+//		Algorithm:    "Br_xy_source",
+//		Distribution: "E",
+//		Sources:      30,
+//		MsgBytes:     4096,
+//	})
+//	// res.Elapsed is the simulated broadcast time.
+//
+// See examples/ for runnable programs, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for paper-vs-measured results.
+package stpbcast
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/live"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Machine is a simulated platform: topology, placement, cost model, and
+// the logical mesh the algorithms see.
+type Machine = machine.Machine
+
+// NewParagon returns an r×c Intel Paragon under the NX library.
+func NewParagon(rows, cols int) *Machine { return machine.Paragon(rows, cols) }
+
+// NewParagonMPI returns an r×c Intel Paragon under the MPI environment
+// (the paper's measured 2–5% software-overhead loss over NX).
+func NewParagonMPI(rows, cols int) *Machine { return machine.ParagonMPI(rows, cols) }
+
+// NewT3D returns a p-processor Cray T3D under MPI (3-D torus, fixed
+// system-controlled snake placement).
+func NewT3D(p int) *Machine { return machine.T3D(p) }
+
+// NewT3DRandom returns a T3D whose virtual→physical mapping is a seeded
+// random scatter, the worst-case reading of "uncontrollable placement".
+func NewT3DRandom(p int, seed int64) *Machine { return machine.T3DRandom(p, seed) }
+
+// NewHypercube returns a 2^dim-processor binary hypercube with Paragon
+// cost parameters (extension machine for topology ablations).
+func NewHypercube(dim int) *Machine { return machine.HypercubeNX(dim) }
+
+// Algorithm is one s-to-p broadcasting algorithm (see core for the suite).
+type Algorithm = core.Algorithm
+
+// Algorithms returns every implemented algorithm in the paper's order.
+func Algorithms() []Algorithm { return core.Registry() }
+
+// AlgorithmByName returns the algorithm with the paper's name
+// ("Br_Lin", "Repos_xy_source", ...).
+func AlgorithmByName(name string) (Algorithm, error) { return core.ByName(name) }
+
+// Distribution places source processors on the logical mesh.
+type Distribution = dist.Distribution
+
+// Distributions returns the paper's eight named distributions.
+func Distributions() []Distribution { return dist.All() }
+
+// DistributionByName returns a distribution by the paper's notation
+// ("R", "C", "E", "Dr", "Dl", "B", "Cr", "Sq").
+func DistributionByName(name string) (Distribution, error) { return dist.ByName(name) }
+
+// Params are the paper's per-run characteristic parameters (Figure 2).
+type Params = metrics.Params
+
+// LinkStats describes one directed physical link's accumulated load.
+type LinkStats = network.LinkStats
+
+// Config selects one broadcast instance.
+type Config struct {
+	// Algorithm is the paper name of the algorithm ("Br_xy_source").
+	Algorithm string
+	// Distribution is the paper name of the source distribution ("E"),
+	// ignored when Sources lists explicit ranks.
+	Distribution string
+	// Sources is the number of source processors, 1 ≤ s ≤ p.
+	Sources int
+	// SourceRanks optionally pins the exact source ranks (row-major);
+	// when set, Distribution and Sources are ignored.
+	SourceRanks []int
+	// MsgBytes is the per-source message length L.
+	MsgBytes int
+	// RowMajor switches Br_Lin's linear order from the default
+	// snake-like row-major to plain row-major (ablation).
+	RowMajor bool
+	// MsgBytesFor, when non-nil, gives each source its own message
+	// length, overriding MsgBytes (the paper's variable-length
+	// experiment). It is only called for source ranks.
+	MsgBytesFor func(rank int) int
+}
+
+// spec resolves the configuration against a machine.
+func (c Config) spec(m *Machine) (core.Spec, error) {
+	sources := c.SourceRanks
+	if sources == nil {
+		d, err := dist.ByName(c.Distribution)
+		if err != nil {
+			return core.Spec{}, err
+		}
+		sources, err = d.Sources(m.Rows, m.Cols, c.Sources)
+		if err != nil {
+			return core.Spec{}, err
+		}
+	}
+	ix := topology.SnakeRowMajor
+	if c.RowMajor {
+		ix = topology.RowMajor
+	}
+	spec := core.Spec{Rows: m.Rows, Cols: m.Cols, Sources: sources, Indexing: ix}
+	if err := spec.Validate(m.P()); err != nil {
+		return core.Spec{}, err
+	}
+	return spec, nil
+}
+
+// SimResult is the outcome of a simulated broadcast.
+type SimResult struct {
+	// Elapsed is the simulated makespan.
+	Elapsed time.Duration
+	// Params are the paper's characteristic parameters of the run.
+	Params Params
+	// ActiveProfile is the number of processors communicating in each
+	// algorithm iteration.
+	ActiveProfile []int
+	// Trace holds the recorded events when Config tracing was requested
+	// via SimulateTraced.
+	Trace *trace.Recorder
+	// HotLinks are the ten busiest directed links of the run, most
+	// loaded first — the congestion hot spots.
+	HotLinks []LinkStats
+	// NodeLoad is, per physical node, the occupancy of its busiest
+	// outgoing link (input for viz.Heatmap).
+	NodeLoad []time.Duration
+}
+
+// Simulate runs one broadcast on the simulated machine and returns timing
+// and metrics. The run is deterministic: identical inputs give identical
+// results.
+func Simulate(m *Machine, cfg Config) (*SimResult, error) {
+	return simulate(m, cfg, nil, nil)
+}
+
+// SimulateWith is Simulate with an explicit Algorithm value instead of a
+// registry name — for parameterized algorithms such as core.BrDims,
+// core.ReposTo or core.WithDiscovery. cfg.Algorithm is ignored.
+func SimulateWith(m *Machine, alg Algorithm, cfg Config) (*SimResult, error) {
+	return simulate(m, cfg, nil, alg)
+}
+
+// SimulateTraced is Simulate with event recording (at most cap events
+// retained; 0 keeps all).
+func SimulateTraced(m *Machine, cfg Config, cap int) (*SimResult, error) {
+	rec := trace.NewRecorder(cap)
+	return simulate(m, cfg, rec, nil)
+}
+
+func simulate(m *Machine, cfg Config, rec *trace.Recorder, alg Algorithm) (*SimResult, error) {
+	if alg == nil {
+		var err error
+		alg, err = core.ByName(cfg.Algorithm)
+		if err != nil {
+			return nil, err
+		}
+	}
+	spec, err := cfg.spec(m)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MsgBytes < 0 {
+		return nil, fmt.Errorf("stpbcast: negative message length %d", cfg.MsgBytes)
+	}
+	nw, err := m.NewNetwork()
+	if err != nil {
+		return nil, err
+	}
+	payloadFor := func(rank int) []byte { return make([]byte, cfg.MsgBytes) }
+	if cfg.MsgBytesFor != nil {
+		payloadFor = func(rank int) []byte {
+			n := cfg.MsgBytesFor(rank)
+			if n < 0 {
+				n = 0
+			}
+			return make([]byte, n)
+		}
+	}
+	payloads := make(map[int][]byte, len(spec.Sources))
+	for _, src := range spec.Sources {
+		payloads[src] = payloadFor(src)
+	}
+	opts := sim.Options{}
+	if rec != nil {
+		opts.Tracer = rec
+	}
+	res, err := sim.Run(nw, func(pr *sim.Proc) {
+		mine := core.InitialMessage(spec, pr.Rank(), payloads[pr.Rank()])
+		alg.Run(pr, spec, mine)
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	loads := nw.NodeLoad()
+	nodeLoad := make([]time.Duration, len(loads))
+	for i, v := range loads {
+		nodeLoad[i] = v.Duration()
+	}
+	return &SimResult{
+		Elapsed:       res.Elapsed.Duration(),
+		Params:        metrics.FromResult(res),
+		ActiveProfile: metrics.ActiveProfile(res),
+		Trace:         rec,
+		HotLinks:      nw.HotLinks(10),
+		NodeLoad:      nodeLoad,
+	}, nil
+}
+
+// LiveResult is the outcome of a live (goroutine) broadcast run.
+type LiveResult struct {
+	// Elapsed is the wall-clock duration.
+	Elapsed time.Duration
+	// Bundles holds, per rank, the received original messages keyed by
+	// origin rank. Every rank holds every source's payload.
+	Bundles []map[int][]byte
+}
+
+// RunLive executes the broadcast on the live goroutine engine with real
+// payload bytes. payload(rank) supplies each source's message; it is only
+// called for source ranks. The machine's logical mesh defines the rank
+// space; its cost model is not used (live runs measure wall-clock only).
+func RunLive(m *Machine, cfg Config, payload func(rank int) []byte) (*LiveResult, error) {
+	alg, err := core.ByName(cfg.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := cfg.spec(m)
+	if err != nil {
+		return nil, err
+	}
+	bundles := make([]map[int][]byte, m.P())
+	res, err := live.Run(m.P(), func(pr *live.Proc) {
+		var mine comm.Message
+		if spec.IsSource(pr.Rank()) {
+			mine = comm.Message{Parts: []comm.Part{{Origin: pr.Rank(), Data: payload(pr.Rank())}}}
+		}
+		out := alg.Run(pr, spec, mine)
+		got := make(map[int][]byte, len(out.Parts))
+		for _, part := range out.Parts {
+			got[part.Origin] = part.Data
+		}
+		bundles[pr.Rank()] = got
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LiveResult{Elapsed: res.Elapsed, Bundles: bundles}, nil
+}
+
+// RunTCP executes the broadcast over real loopback TCP sockets — one
+// listener per processor, length-prefixed frames, full mesh of
+// connections — and verifies delivery like RunLive. It is the
+// distributed-transport engine; use it to exercise the algorithms over a
+// transport with real serialization.
+func RunTCP(m *Machine, cfg Config, payload func(rank int) []byte) (*LiveResult, error) {
+	alg, err := core.ByName(cfg.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := cfg.spec(m)
+	if err != nil {
+		return nil, err
+	}
+	bundles := make([]map[int][]byte, m.P())
+	res, err := tcp.Run(m.P(), func(pr *tcp.Proc) {
+		var mine comm.Message
+		if spec.IsSource(pr.Rank()) {
+			mine = comm.Message{Parts: []comm.Part{{Origin: pr.Rank(), Data: payload(pr.Rank())}}}
+		}
+		out := alg.Run(pr, spec, mine)
+		got := make(map[int][]byte, len(out.Parts))
+		for _, part := range out.Parts {
+			got[part.Origin] = part.Data
+		}
+		bundles[pr.Rank()] = got
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LiveResult{Elapsed: res.Elapsed, Bundles: bundles}, nil
+}
+
+// Experiment regenerates one table or figure of the paper (see
+// cmd/stpbench).
+type Experiment = bench.Experiment
+
+// Series is the data behind one regenerated figure.
+type Series = bench.Series
+
+// Experiments returns every defined experiment, one per paper table and
+// figure plus the ablations.
+func Experiments() []Experiment { return bench.Experiments() }
+
+// ExperimentByID returns the experiment with the given figure id ("fig3").
+func ExperimentByID(id string) (Experiment, error) { return bench.ByID(id) }

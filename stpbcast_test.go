@@ -1,0 +1,259 @@
+package stpbcast_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	stpbcast "repro"
+	"repro/internal/core"
+)
+
+func TestSimulateQuickstart(t *testing.T) {
+	m := stpbcast.NewParagon(10, 10)
+	res, err := stpbcast.Simulate(m, stpbcast.Config{
+		Algorithm:    "Br_xy_source",
+		Distribution: "E",
+		Sources:      30,
+		MsgBytes:     4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no simulated time")
+	}
+	if res.Params.SendRec == 0 {
+		t.Fatal("no operations recorded")
+	}
+	if len(res.ActiveProfile) == 0 {
+		t.Fatal("no iteration profile")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cfg := stpbcast.Config{Algorithm: "Br_Lin", Distribution: "Dr", Sources: 12, MsgBytes: 1024}
+	a, err := stpbcast.Simulate(stpbcast.NewT3D(64), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := stpbcast.Simulate(stpbcast.NewT3D(64), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Fatalf("non-deterministic: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+}
+
+func TestSimulateAllAlgorithmsByName(t *testing.T) {
+	for _, alg := range stpbcast.Algorithms() {
+		m := stpbcast.NewParagon(4, 4)
+		res, err := stpbcast.Simulate(m, stpbcast.Config{
+			Algorithm:    alg.Name(),
+			Distribution: "Sq",
+			Sources:      6,
+			MsgBytes:     256,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if res.Elapsed <= 0 {
+			t.Fatalf("%s: no time", alg.Name())
+		}
+	}
+}
+
+func TestSimulateExplicitSources(t *testing.T) {
+	m := stpbcast.NewParagon(4, 4)
+	res, err := stpbcast.Simulate(m, stpbcast.Config{
+		Algorithm:   "2-Step",
+		SourceRanks: []int{3, 9, 12},
+		MsgBytes:    128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no simulated time")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	m := stpbcast.NewParagon(4, 4)
+	cases := []stpbcast.Config{
+		{Algorithm: "nope", Distribution: "E", Sources: 2, MsgBytes: 8},
+		{Algorithm: "Br_Lin", Distribution: "nope", Sources: 2, MsgBytes: 8},
+		{Algorithm: "Br_Lin", Distribution: "E", Sources: 0, MsgBytes: 8},
+		{Algorithm: "Br_Lin", Distribution: "E", Sources: 99, MsgBytes: 8},
+		{Algorithm: "Br_Lin", Distribution: "E", Sources: 2, MsgBytes: -1},
+		{Algorithm: "Br_Lin", SourceRanks: []int{77}, MsgBytes: 8},
+	}
+	for i, cfg := range cases {
+		if _, err := stpbcast.Simulate(m, cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRunLiveDeliversPayloads(t *testing.T) {
+	m := stpbcast.NewParagon(4, 5)
+	cfg := stpbcast.Config{Algorithm: "Repos_xy_source", Distribution: "Cr", Sources: 9, MsgBytes: 0}
+	res, err := stpbcast.RunLive(m, cfg, func(rank int) []byte {
+		return []byte(fmt.Sprintf("payload-from-%02d", rank))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bundles) != 20 {
+		t.Fatalf("bundles for %d ranks", len(res.Bundles))
+	}
+	for rank, got := range res.Bundles {
+		if len(got) != 9 {
+			t.Fatalf("rank %d holds %d messages, want 9", rank, len(got))
+		}
+		for origin, data := range got {
+			want := []byte(fmt.Sprintf("payload-from-%02d", origin))
+			if !bytes.Equal(data, want) {
+				t.Fatalf("rank %d origin %d payload %q", rank, origin, data)
+			}
+		}
+	}
+}
+
+func TestSimulateTraced(t *testing.T) {
+	m := stpbcast.NewParagon(4, 4)
+	res, err := stpbcast.SimulateTraced(m, stpbcast.Config{
+		Algorithm: "Br_Lin", Distribution: "E", Sources: 4, MsgBytes: 64,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Trace.Count("send") == 0 || res.Trace.Count("recv") == 0 {
+		t.Fatalf("trace empty: %v", res.Trace.Summary())
+	}
+}
+
+func TestRegistriesExposed(t *testing.T) {
+	if len(stpbcast.Algorithms()) < 12 {
+		t.Errorf("only %d algorithms", len(stpbcast.Algorithms()))
+	}
+	if len(stpbcast.Distributions()) != 8 {
+		t.Errorf("%d distributions", len(stpbcast.Distributions()))
+	}
+	if len(stpbcast.Experiments()) < 19 {
+		t.Errorf("only %d experiments", len(stpbcast.Experiments()))
+	}
+	if _, err := stpbcast.AlgorithmByName("Br_Lin"); err != nil {
+		t.Error(err)
+	}
+	if _, err := stpbcast.DistributionByName("Dl"); err != nil {
+		t.Error(err)
+	}
+	if _, err := stpbcast.ExperimentByID("fig7"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowMajorAblationDiffers(t *testing.T) {
+	snake, err := stpbcast.Simulate(stpbcast.NewParagon(8, 8), stpbcast.Config{
+		Algorithm: "Br_Lin", Distribution: "C", Sources: 16, MsgBytes: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := stpbcast.Simulate(stpbcast.NewParagon(8, 8), stpbcast.Config{
+		Algorithm: "Br_Lin", Distribution: "C", Sources: 16, MsgBytes: 2048, RowMajor: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snake.Elapsed == rm.Elapsed {
+		t.Error("indexing ablation had no effect (suspicious)")
+	}
+}
+
+func TestVariableMessageLengths(t *testing.T) {
+	m := stpbcast.NewParagon(6, 6)
+	uniform, err := stpbcast.Simulate(m, stpbcast.Config{
+		Algorithm: "Br_Lin", Distribution: "Dr", Sources: 6, MsgBytes: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := stpbcast.Simulate(m, stpbcast.Config{
+		Algorithm: "Br_Lin", Distribution: "Dr", Sources: 6, MsgBytes: 4096,
+		MsgBytesFor: func(rank int) int {
+			if rank%2 == 0 {
+				return 6144
+			}
+			return 2048
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewed.Elapsed == uniform.Elapsed {
+		t.Error("per-source lengths had no effect (suspicious)")
+	}
+	// Same total volume: within ±35% (the paper's insignificance claim).
+	ratio := float64(skewed.Elapsed) / float64(uniform.Elapsed)
+	if ratio > 1.35 || ratio < 0.65 {
+		t.Errorf("skewed/uniform ratio %.2f outside ±35%%", ratio)
+	}
+}
+
+func TestHypercubeMachine(t *testing.T) {
+	m := stpbcast.NewHypercube(5)
+	res, err := stpbcast.Simulate(m, stpbcast.Config{
+		Algorithm: "Br_Lin", Distribution: "E", Sources: 8, MsgBytes: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no simulated time")
+	}
+}
+
+func TestRunTCPDeliversPayloads(t *testing.T) {
+	m := stpbcast.NewParagon(3, 4)
+	cfg := stpbcast.Config{Algorithm: "Br_Lin", Distribution: "Dr", Sources: 4}
+	res, err := stpbcast.RunTCP(m, cfg, func(rank int) []byte {
+		return []byte(fmt.Sprintf("wire-%02d", rank))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, got := range res.Bundles {
+		if len(got) != 4 {
+			t.Fatalf("rank %d holds %d messages", rank, len(got))
+		}
+		for origin, data := range got {
+			if string(data) != fmt.Sprintf("wire-%02d", origin) {
+				t.Fatalf("rank %d origin %d payload %q", rank, origin, data)
+			}
+		}
+	}
+}
+
+func TestSimulateWithCustomAlgorithm(t *testing.T) {
+	m := stpbcast.NewT3D(64)
+	x, y, z := 4, 4, 4
+	alg := core.BrDims([]int{x, y, z}, []int{2, 1, 0})
+	res, err := stpbcast.SimulateWith(m, alg, stpbcast.Config{
+		Distribution: "E", Sources: 16, MsgBytes: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no simulated time")
+	}
+	wrapped := core.WithDiscovery(core.BrLin())
+	if _, err := stpbcast.SimulateWith(m, wrapped, stpbcast.Config{
+		Distribution: "Sq", Sources: 9, MsgBytes: 256,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
