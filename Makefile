@@ -1,0 +1,34 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same
+# targets.
+
+GO ?= go
+
+.PHONY: all fmt vet build test race fuzz-seeds bench ci
+
+all: ci
+
+# gofmt -l prints offending files; fail if any.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Replay the checked-in fuzz seed corpora (no fuzzing time budget).
+fuzz-seeds:
+	$(GO) test -run=Fuzz ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+ci: fmt vet build race fuzz-seeds

@@ -1,0 +1,305 @@
+// Command stptune drives the algorithm planner (internal/plan): it plans
+// single instances, sweeps grids with a chosen-vs-best table, warms a
+// persistent plan cache, and inspects cache contents.
+//
+// Usage:
+//
+//	stptune plan    -machine paragon -rows 10 -cols 10 -dist E -s 30 -bytes 4096
+//	stptune sweep   -machine t3d -p 256 -dists E,Cr -s 10,64 -bytes 1024,16384
+//	stptune warm    -machine paragon -cache plans.json -dists R,C,E,Dr,Dl,B,Cr,Sq -s 10,64 -bytes 1024,16384
+//	stptune inspect -cache plans.json
+//
+// The sweep table reports, per cell, the planner's choice and the best
+// fixed algorithm with their simulated times; ratio 1.00 means the
+// planner matched the optimum. warm populates the cache only (no
+// exhaustive baseline), so later sweeps and Auto runs answer from cache;
+// the trailing counter line shows cache hits/misses and probe runs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "plan":
+		runPlan(args)
+	case "sweep":
+		runSweep(args)
+	case "warm":
+		runWarm(args)
+	case "inspect":
+		runInspect(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: stptune {plan|sweep|warm|inspect} [flags]")
+	os.Exit(2)
+}
+
+// commonFlags are the machine and planner knobs shared by the planning
+// subcommands.
+type commonFlags struct {
+	fs        *flag.FlagSet
+	machine   *string
+	rows      *int
+	cols      *int
+	p         *int
+	dim       *int
+	seed      *int64
+	cachePath *string
+	topK      *int
+	workers   *int
+	maxOps    *int
+}
+
+func newCommonFlags(name string) *commonFlags {
+	fs := flag.NewFlagSet("stptune "+name, flag.ExitOnError)
+	return &commonFlags{
+		fs:        fs,
+		machine:   fs.String("machine", "paragon", "paragon | paragon-mpi | t3d | t3d-random | hypercube"),
+		rows:      fs.Int("rows", 10, "mesh rows (paragon)"),
+		cols:      fs.Int("cols", 10, "mesh columns (paragon)"),
+		p:         fs.Int("p", 128, "processors (t3d)"),
+		dim:       fs.Int("dim", 6, "dimension (hypercube)"),
+		seed:      fs.Int64("seed", 1, "placement seed (t3d-random)"),
+		cachePath: fs.String("cache", "", "plan cache file (empty = in-memory)"),
+		topK:      fs.Int("topk", 0, "analytic candidates to probe (0 = default, <0 = analytic only)"),
+		workers:   fs.Int("workers", 0, "probe worker pool size (0 = GOMAXPROCS)"),
+		maxOps:    fs.Int("maxops", 0, "per-probe operation budget (0 = unlimited)"),
+	}
+}
+
+func (c *commonFlags) machineFor() (*machine.Machine, error) {
+	switch *c.machine {
+	case "paragon":
+		return machine.Paragon(*c.rows, *c.cols), nil
+	case "paragon-mpi":
+		return machine.ParagonMPI(*c.rows, *c.cols), nil
+	case "t3d":
+		return machine.T3D(*c.p), nil
+	case "t3d-random":
+		return machine.T3DRandom(*c.p, *c.seed), nil
+	case "hypercube":
+		return machine.HypercubeNX(*c.dim), nil
+	}
+	return nil, fmt.Errorf("unknown machine %q", *c.machine)
+}
+
+func (c *commonFlags) planner() (*plan.Planner, *plan.Cache, error) {
+	cache := plan.NewMemCache(0)
+	if *c.cachePath != "" {
+		var err error
+		cache, err = plan.OpenCache(*c.cachePath, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	p := plan.New(plan.Options{
+		TopK:        *c.topK,
+		Workers:     *c.workers,
+		Cache:       cache,
+		MaxProbeOps: *c.maxOps,
+	})
+	return p, cache, nil
+}
+
+func runPlan(args []string) {
+	c := newCommonFlags("plan")
+	distName := c.fs.String("dist", "E", "distribution name")
+	s := c.fs.Int("s", 16, "source count")
+	bytes := c.fs.Int("bytes", 4096, "message length")
+	c.fs.Parse(args)
+	m, err := c.machineFor()
+	if err != nil {
+		fatal(err)
+	}
+	pl, _, err := c.planner()
+	if err != nil {
+		fatal(err)
+	}
+	d, err := dist.ByName(*distName)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := bench.SpecFor(m, d, *s)
+	if err != nil {
+		fatal(err)
+	}
+	dec, err := pl.Decide(context.Background(), m, plan.Request{Spec: spec, MsgLen: *bytes, DistName: *distName})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("machine    %s\n", m.Name)
+	fmt.Printf("key        %s\n", dec.Key.String())
+	fmt.Printf("chosen     %s (%.4f ms, via %s)\n", dec.Algorithm, dec.ElapsedMs, dec.Source)
+	if len(dec.Ranking) > 0 {
+		fmt.Println("analytic ranking (predicted ms):")
+		for i, sc := range dec.Ranking {
+			fmt.Printf("  %2d. %-18s %10.4f\n", i+1, sc.Algorithm, sc.PredictedMs)
+		}
+	}
+	if len(dec.Probes) > 0 {
+		fmt.Println("probes (simulated ms):")
+		for _, pr := range dec.Probes {
+			fmt.Printf("      %-18s %10.4f\n", pr.Algorithm, pr.ElapsedMs)
+		}
+	}
+}
+
+// sweepGrid plans every (distribution, s, L) cell. When exhaustive is
+// true it also simulates every registered algorithm to report the true
+// best and the chosen/best ratio.
+func sweepGrid(c *commonFlags, distsFlag, sFlag, bytesFlag string, exhaustive bool) {
+	m, err := c.machineFor()
+	if err != nil {
+		fatal(err)
+	}
+	pl, cache, err := c.planner()
+	if err != nil {
+		fatal(err)
+	}
+	dists := splitList(distsFlag)
+	ss, err := splitInts(sFlag)
+	if err != nil {
+		fatal(err)
+	}
+	ls, err := splitInts(bytesFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if exhaustive {
+		fmt.Println("machine,distribution,sources,msg_bytes,chosen,chosen_ms,best,best_ms,ratio,source")
+	} else {
+		fmt.Println("machine,distribution,sources,msg_bytes,chosen,chosen_ms,source")
+	}
+	for _, dn := range dists {
+		d, err := dist.ByName(dn)
+		if err != nil {
+			fatal(err)
+		}
+		for _, s := range ss {
+			for _, l := range ls {
+				spec, err := bench.SpecFor(m, d, s)
+				if err != nil {
+					fatal(err)
+				}
+				dec, err := pl.Decide(context.Background(), m, plan.Request{Spec: spec, MsgLen: l, DistName: dn})
+				if err != nil {
+					fatal(err)
+				}
+				if !exhaustive {
+					fmt.Printf("%s,%s,%d,%d,%s,%.4f,%s\n", m.Name, dn, s, l, dec.Algorithm, dec.ElapsedMs, dec.Source)
+					continue
+				}
+				bestName, bestMs := "", math.Inf(1)
+				for _, a := range core.Registry() {
+					v, err := bench.MustMillis(m, a, spec, l)
+					if err != nil {
+						fatal(err)
+					}
+					if v < bestMs {
+						bestName, bestMs = a.Name(), v
+					}
+				}
+				fmt.Printf("%s,%s,%d,%d,%s,%.4f,%s,%.4f,%.3f,%s\n",
+					m.Name, dn, s, l, dec.Algorithm, dec.ElapsedMs, bestName, bestMs, dec.ElapsedMs/bestMs, dec.Source)
+			}
+		}
+	}
+	if err := cache.Save(); err != nil {
+		fatal(err)
+	}
+	printCounters()
+}
+
+func runSweep(args []string) {
+	c := newCommonFlags("sweep")
+	dists := c.fs.String("dists", "R,C,E,Dr,Dl,B,Cr,Sq", "comma-separated distribution names")
+	sFlag := c.fs.String("s", "10,64", "comma-separated source counts")
+	bytesFlag := c.fs.String("bytes", "1024,16384", "comma-separated message lengths")
+	c.fs.Parse(args)
+	sweepGrid(c, *dists, *sFlag, *bytesFlag, true)
+}
+
+func runWarm(args []string) {
+	c := newCommonFlags("warm")
+	dists := c.fs.String("dists", "R,C,E,Dr,Dl,B,Cr,Sq", "comma-separated distribution names")
+	sFlag := c.fs.String("s", "10,64", "comma-separated source counts")
+	bytesFlag := c.fs.String("bytes", "1024,16384", "comma-separated message lengths")
+	c.fs.Parse(args)
+	sweepGrid(c, *dists, *sFlag, *bytesFlag, false)
+}
+
+func runInspect(args []string) {
+	fs := flag.NewFlagSet("stptune inspect", flag.ExitOnError)
+	cachePath := fs.String("cache", "", "plan cache file")
+	fs.Parse(args)
+	if *cachePath == "" {
+		fatal(fmt.Errorf("inspect needs -cache"))
+	}
+	cache, err := plan.OpenCache(*cachePath, 0)
+	if err != nil {
+		fatal(err)
+	}
+	plans := cache.Snapshot()
+	fmt.Printf("%s: %d cached plans (format v%d)\n", *cachePath, len(plans), plan.CacheVersion)
+	for _, cp := range plans {
+		fmt.Printf("  %-60s -> %-18s %10.4f ms  (%s, seq %d)\n",
+			cp.Key, cp.Entry.Algorithm, cp.Entry.ElapsedMs, cp.Entry.Source, cp.Entry.Seq)
+	}
+}
+
+func printCounters() {
+	hits := metrics.GetCounter(plan.CounterCacheHits).Value()
+	misses := metrics.GetCounter(plan.CounterCacheMisses).Value()
+	probes := metrics.GetCounter(plan.CounterProbes).Value()
+	fmt.Fprintf(os.Stderr, "stptune: cache hits %d, misses %d, probe runs %d\n", hits, misses, probes)
+}
+
+func splitList(v string) []string {
+	var out []string
+	for _, part := range strings.Split(v, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func splitInts(v string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(v) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("stptune: bad integer %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stptune:", err)
+	os.Exit(1)
+}

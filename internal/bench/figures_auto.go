@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/plan"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "figAuto",
+		Title: "Auto planner vs best fixed algorithm vs always-Repos_xy_source, full distribution grid on 10×10 Paragon and 256-PE T3D",
+		Paper: "Beyond the paper: Section 5's conclusion is that no single algorithm wins everywhere; the planner operationalizes the paper's decision surface and must track the per-cell best within 10%.",
+		Run:   runFigAuto,
+	})
+}
+
+// runFigAuto sweeps every (distribution, s, L) cell on the two reference
+// machines and records three curves: the planner's choice, the best fixed
+// algorithm (min over the registry), and the fixed policy of always
+// running Repos_xy_source.
+func runFigAuto() (*Series, error) {
+	grid := []struct {
+		tag string
+		m   *machine.Machine
+	}{
+		{"P", machine.Paragon(10, 10)},
+		{"T", machine.T3D(256)},
+	}
+	planner := plan.New(plan.Options{Cache: plan.NewMemCache(0)})
+	repos := core.ReposXYSource()
+	s := NewSeries("Auto planner vs fixed policies (P=Paragon 10×10, T=T3D 256)",
+		"machine/dist/s/L", "ms", "Auto", "best-fixed", "Repos_xy_source")
+	for _, g := range grid {
+		for _, d := range dist.All() {
+			for _, sv := range []int{10, 64} {
+				for _, l := range []int{1024, 16384} {
+					spec, err := SpecFor(g.m, d, sv)
+					if err != nil {
+						return nil, err
+					}
+					dec, err := planner.Decide(context.Background(), g.m, plan.Request{
+						Spec: spec, MsgLen: l, DistName: d.Name(),
+					})
+					if err != nil {
+						return nil, err
+					}
+					best := math.Inf(1)
+					for _, a := range core.Registry() {
+						v, err := MustMillis(g.m, a, spec, l)
+						if err != nil {
+							return nil, err
+						}
+						if v < best {
+							best = v
+						}
+					}
+					rv, err := MustMillis(g.m, repos, spec, l)
+					if err != nil {
+						return nil, err
+					}
+					s.AddX(fmt.Sprintf("%s/%s/%d/%dK", g.tag, d.Name(), sv, l/1024),
+						dec.ElapsedMs, best, rv)
+				}
+			}
+		}
+	}
+	return s, nil
+}

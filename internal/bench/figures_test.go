@@ -42,6 +42,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"ablation-varlen",
 		"fig10", "fig11a", "fig11b", "fig12", "fig13a", "fig13b",
 		"fig2", "fig2-growth", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"figAuto",
 	}
 	got := Experiments()
 	if len(got) != len(want) {
@@ -427,6 +428,37 @@ func TestFig2GrowthShape(t *testing.T) {
 	// E(60)'s irregular spacing breaks the alignment by iteration 3.
 	if s.Get("E(60)", 2) <= s.Get("E(64)", 2) {
 		t.Errorf("E(60) iteration 3 (%.0f) not above E(64) (%.0f)", s.Get("E(60)", 2), s.Get("E(64)", 2))
+	}
+}
+
+// TestFigAutoShape — the planner's acceptance bar: in every
+// (machine, distribution, s, L) cell, Auto runs within 10% of the best
+// fixed algorithm, never beats it (it picks one of them), and the
+// always-Repos_xy_source policy is never better than the per-cell best.
+func TestFigAutoShape(t *testing.T) {
+	s := figures(t)["figAuto"]
+	for i, x := range s.XLabels {
+		auto, best, repos := s.Get("Auto", i), s.Get("best-fixed", i), s.Get("Repos_xy_source", i)
+		if auto > 1.10*best {
+			t.Errorf("%s: Auto (%.3f ms) above 1.10× best fixed (%.3f ms)", x, auto, best)
+		}
+		if auto < best*0.999 {
+			t.Errorf("%s: Auto (%.3f ms) below best fixed (%.3f ms) — measurement mismatch", x, auto, best)
+		}
+		if repos < best*0.999 {
+			t.Errorf("%s: Repos_xy_source (%.3f ms) below best fixed (%.3f ms)", x, repos, best)
+		}
+	}
+	// The fixed policy must actually lose somewhere, or the planner adds
+	// nothing: Repos_xy_source exceeds 1.3× the best in at least one cell.
+	worst := 0.0
+	for i := range s.XLabels {
+		if r := s.Get("Repos_xy_source", i) / s.Get("best-fixed", i); r > worst {
+			worst = r
+		}
+	}
+	if worst < 1.3 {
+		t.Errorf("Repos_xy_source never worse than 1.3× best (max ratio %.2f) — grid too easy", worst)
 	}
 }
 

@@ -15,17 +15,16 @@ import (
 )
 
 // Measure runs one algorithm on one machine for one broadcast instance
-// and returns the simulated result. The payload is a shared zero buffer of
-// msgLen bytes per source (the simulator prices sizes; contents are not
-// read).
+// and returns the simulated result. Sources enter with length-only parts
+// of msgLen bytes (the simulator prices sizes; no payload buffers are
+// allocated).
 func Measure(m *machine.Machine, alg core.Algorithm, spec core.Spec, msgLen int) (*sim.Result, error) {
 	nw, err := m.NewNetwork()
 	if err != nil {
 		return nil, err
 	}
-	payload := make([]byte, msgLen)
 	return sim.Run(nw, func(pr *sim.Proc) {
-		mine := core.InitialMessage(spec, pr.Rank(), payload)
+		mine := core.InitialMessageLen(spec, pr.Rank(), msgLen)
 		alg.Run(pr, spec, mine)
 	}, sim.Options{})
 }

@@ -22,6 +22,21 @@ import (
 type Part struct {
 	Origin int
 	Data   []byte
+	// Size is the simulated payload length in bytes when Data is nil —
+	// the length-only path the discrete-event simulator uses so that
+	// large sweeps never allocate real payload buffers. When Data is
+	// non-nil, len(Data) is the length and Size is ignored. The live and
+	// TCP engines move real bytes and should be given Data.
+	Size int
+}
+
+// Len returns the part's payload length: len(Data) when Data is set,
+// Size otherwise (the length-only simulator path).
+func (p Part) Len() int {
+	if p.Data != nil {
+		return len(p.Data)
+	}
+	return p.Size
 }
 
 // Message is what travels between processors: one or more Parts. The
@@ -42,7 +57,7 @@ type Message struct {
 func (m Message) Len() int {
 	n := 0
 	for _, p := range m.Parts {
-		n += len(p.Data)
+		n += p.Len()
 	}
 	return n
 }

@@ -17,20 +17,27 @@ import (
 // decision from the spec alone, so no extra communication is needed.
 type reposAdaptive struct {
 	inner Algorithm
-	// margin is the required efficiency improvement (absolute, 0..1)
-	// before the permutation is considered worthwhile.
+	// margin is the efficiency improvement (absolute, 0..1) that must be
+	// exceeded before the permutation is considered worthwhile.
 	margin float64
 }
 
 // ReposAdaptive returns a repositioning algorithm that first checks
 // whether the initial distribution is already close to ideal and skips
-// the permutation when repositioning would improve the halving growth
-// efficiency by less than margin (e.g. 0.1).
+// the permutation unless repositioning would improve the halving growth
+// efficiency by strictly more than margin (e.g. 0.1); a gain exactly
+// equal to the margin still skips.
 func ReposAdaptive(inner Algorithm, margin float64) Algorithm {
 	return reposAdaptive{inner: inner, margin: margin}
 }
 
 func (a reposAdaptive) Name() string { return "ReposAdaptive_" + a.inner.Name() }
+
+// GrowthEfficiency is the exported form of the ReposAdaptive decision
+// metric: how close the spec's halving replay comes to doubling the
+// holder count every iteration (1.0 = perfect doubling until saturation).
+// The planner's analytic tier ranks distributions with it.
+func GrowthEfficiency(spec Spec) float64 { return growthEfficiency(spec) }
 
 // growthEfficiency replays the snake-order halving pattern over the given
 // source positions and scores how close the holder counts come to doubling
@@ -120,8 +127,9 @@ func (a reposAdaptive) Run(c comm.Comm, spec Spec, mine comm.Message) comm.Messa
 	}
 	idealSpec := Spec{Rows: spec.Rows, Cols: spec.Cols, Sources: ideal, Indexing: spec.Indexing}
 	gain := growthEfficiency(idealSpec) - growthEfficiency(spec)
-	if gain < a.margin {
-		// Close enough to ideal: skip the permutation.
+	if gain <= a.margin {
+		// Close enough to ideal: skip the permutation. The margin is the
+		// improvement that must be exceeded, so gain == margin skips too.
 		return a.inner.Run(c, spec, mine)
 	}
 	c.Barrier()

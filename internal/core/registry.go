@@ -1,12 +1,24 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
-// Registry returns every implemented s-to-p broadcasting algorithm: the
-// paper's full set plus the Ring_AllGather ablation. The order matches the
-// paper's presentation (Section 2, then Section 3).
-func Registry() []Algorithm {
-	return []Algorithm{
+// The algorithm suite is built once and shared: every algorithm is a
+// stateless value whose Run method keeps all per-broadcast state on the
+// stack, so one instance can serve concurrent runs. Simulate resolves the
+// registry per run and the planner's probe loop resolves it hot, which
+// made the previous construct-14-algorithms-per-lookup behaviour a
+// measurable waste.
+var (
+	registryOnce sync.Once
+	registryAlgs []Algorithm
+	registryIdx  map[string]Algorithm
+)
+
+func buildRegistry() {
+	registryAlgs = []Algorithm{
 		TwoStep(),
 		PersAlltoAll(),
 		BrLin(),
@@ -22,15 +34,30 @@ func Registry() []Algorithm {
 		RDAllGather(),
 		Indep1toP(),
 	}
+	registryIdx = make(map[string]Algorithm, len(registryAlgs))
+	for _, a := range registryAlgs {
+		registryIdx[a.Name()] = a
+	}
+}
+
+// Registry returns every implemented s-to-p broadcasting algorithm: the
+// paper's full set plus the Ring_AllGather ablation. The order matches the
+// paper's presentation (Section 2, then Section 3). The returned slice is
+// a fresh copy; the algorithm instances are shared and safe for concurrent
+// use.
+func Registry() []Algorithm {
+	registryOnce.Do(buildRegistry)
+	out := make([]Algorithm, len(registryAlgs))
+	copy(out, registryAlgs)
+	return out
 }
 
 // ByName returns the algorithm with the paper's name ("Br_Lin",
 // "Repos_xy_source", ...).
 func ByName(name string) (Algorithm, error) {
-	for _, a := range Registry() {
-		if a.Name() == name {
-			return a, nil
-		}
+	registryOnce.Do(buildRegistry)
+	if a, ok := registryIdx[name]; ok {
+		return a, nil
 	}
 	return nil, fmt.Errorf("core: unknown algorithm %q", name)
 }

@@ -133,6 +133,12 @@ func (p *Proc) Send(dst int, m comm.Message) {
 	cp := comm.Message{Tag: m.Tag, Parts: make([]comm.Part, len(m.Parts))}
 	var bytes int64
 	for i, part := range m.Parts {
+		if part.Data == nil {
+			// Length-only part (simulator path): preserve the declared size.
+			cp.Parts[i] = comm.Part{Origin: part.Origin, Size: part.Size}
+			bytes += int64(part.Size)
+			continue
+		}
 		data := make([]byte, len(part.Data))
 		copy(data, part.Data)
 		cp.Parts[i] = comm.Part{Origin: part.Origin, Data: data}

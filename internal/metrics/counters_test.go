@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterRegistry(t *testing.T) {
+	a := GetCounter("test.counters.a")
+	if GetCounter("test.counters.a") != a {
+		t.Fatal("same name returned a different counter")
+	}
+	if a.Name() != "test.counters.a" {
+		t.Fatalf("name %q", a.Name())
+	}
+	a.Reset()
+	a.Inc()
+	a.Add(4)
+	if a.Value() != 5 {
+		t.Fatalf("value %d, want 5", a.Value())
+	}
+	found := false
+	for _, s := range Counters() {
+		if s.Name == "test.counters.a" && s.Value == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("snapshot missing counter")
+	}
+	a.Reset()
+	if a.Value() != 0 {
+		t.Fatal("reset did not zero")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := GetCounter("test.counters.concurrent")
+	c.Reset()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("value %d, want 8000", c.Value())
+	}
+}

@@ -1,0 +1,326 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+func testSpec(t testing.TB, m *machine.Machine, d dist.Distribution, s int) core.Spec {
+	t.Helper()
+	sources, err := d.Sources(m.Rows, m.Cols, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Spec{Rows: m.Rows, Cols: m.Cols, Sources: sources, Indexing: topology.SnakeRowMajor}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	m := machine.Paragon(10, 10)
+	spec := testSpec(t, m, dist.Equal(), 30)
+	for _, distName := range []string{"E", ""} {
+		k := NewKey(m, spec, 4096, distName)
+		enc := k.String()
+		back, err := ParseKey(enc)
+		if err != nil {
+			t.Fatalf("%q: %v", enc, err)
+		}
+		if back != k {
+			t.Fatalf("round trip %q: %#v != %#v", enc, back, k)
+		}
+		if back.String() != enc {
+			t.Fatalf("re-encode %q != %q", back.String(), enc)
+		}
+	}
+}
+
+func TestKeyBucketsAndSignatures(t *testing.T) {
+	m := machine.Paragon(10, 10)
+	spec := testSpec(t, m, dist.Equal(), 30)
+	// Same power-of-two bucket: one key.
+	if NewKey(m, spec, 4096, "E") != NewKey(m, spec, 8191, "E") {
+		t.Error("L=4096 and L=8191 should share bucket 13")
+	}
+	// Bucket boundary: different keys.
+	if NewKey(m, spec, 4096, "E") == NewKey(m, spec, 4095, "E") {
+		t.Error("L=4096 and L=4095 should differ")
+	}
+	// Named distribution vs explicit ranks: different signatures.
+	if NewKey(m, spec, 4096, "E").Dist == NewKey(m, spec, 4096, "").Dist {
+		t.Error("named and hashed signatures collide")
+	}
+	// Different explicit rank sets: different hashes.
+	other := testSpec(t, m, dist.Cross(), 30)
+	if NewKey(m, spec, 4096, "").Dist == NewKey(m, other, 4096, "").Dist {
+		t.Error("distinct rank sets hash equal")
+	}
+}
+
+func TestParseKeyRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"plan1|m=x|g=2x2|s=1|lb=3",             // missing field
+		"nope1|m=x|g=2x2|s=1|lb=3|d=d:E",       // wrong prefix
+		"plan1|m=|g=2x2|s=1|lb=3|d=d:E",        // empty machine
+		"plan1|m=x|g=2y2|s=1|lb=3|d=d:E",       // bad mesh
+		"plan1|m=x|g=02x2|s=1|lb=3|d=d:E",      // non-canonical mesh
+		"plan1|m=x|g=2x2|s=+1|lb=3|d=d:E",      // non-canonical int
+		"plan1|m=x|g=2x2|s=1|lb=3|d=E",         // missing d:/h: prefix
+		"plan1|m=x|g=0x2|s=1|lb=3|d=d:E",       // degenerate mesh
+		"plan1|m=x|g=2x2|s=1|lb=3|d=d:E|extra", // trailing field
+		"plan1|x=x|g=2x2|s=1|lb=3|d=d:E",       // wrong field tag
+		"plan-1|m=x|g=2x2|s=1|lb=3|d=d:E",      // negative version
+		"plan1|m=x|g=2x2|s=1|lb=three|d=d:E",   // non-numeric bucket
+		"plan1|m=x|g=2x2|s=1|lb=3|d=d:E\n",     // trailing garbage
+		"plan1|m=x|g=2x2|s=01|lb=3|d=d:E",      // non-canonical s
+	}
+	for _, s := range bad {
+		if _, err := ParseKey(s); err == nil {
+			t.Errorf("ParseKey(%q) accepted", s)
+		}
+	}
+}
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := NewMemCache(0)
+	m := machine.Paragon(4, 4)
+	spec := testSpec(t, m, dist.Equal(), 4)
+	k := NewKey(m, spec, 1024, "E")
+	hits := metrics.GetCounter(CounterCacheHits)
+	misses := metrics.GetCounter(CounterCacheMisses)
+	h0, m0 := hits.Value(), misses.Value()
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache hit")
+	}
+	if err := c.Put(k, Entry{Algorithm: "Br_Lin", ElapsedMs: 1.5, Source: "probe"}); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := c.Get(k)
+	if !ok || e.Algorithm != "Br_Lin" {
+		t.Fatalf("get after put: %v %v", e, ok)
+	}
+	if hits.Value()-h0 != 1 || misses.Value()-m0 != 1 {
+		t.Fatalf("counters hits+%d misses+%d, want +1/+1", hits.Value()-h0, misses.Value()-m0)
+	}
+}
+
+func TestCacheEvictionFIFO(t *testing.T) {
+	c := NewMemCache(3)
+	m := machine.Paragon(4, 4)
+	spec := testSpec(t, m, dist.Equal(), 4)
+	var keys []Key
+	for i := 0; i < 5; i++ {
+		k := NewKey(m, spec, 1<<uint(i+4), "E") // distinct L buckets
+		keys = append(keys, k)
+		if err := c.Put(k, Entry{Algorithm: "Br_Lin", Source: "probe"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len %d, want 3", c.Len())
+	}
+	for i, k := range keys {
+		_, ok := c.Get(k)
+		if want := i >= 2; ok != want {
+			t.Errorf("key %d present=%v, want %v (FIFO should evict the two oldest)", i, ok, want)
+		}
+	}
+}
+
+func TestCachePersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "plans.json")
+	c, err := OpenCache(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.T3D(64)
+	spec := testSpec(t, m, dist.Row(), 8)
+	k := NewKey(m, spec, 2048, "R")
+	if err := c.Put(k, Entry{Algorithm: "PersAlltoAll", ElapsedMs: 2.25, Source: "probe"}); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the entry survives.
+	c2, err := OpenCache(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := c2.Get(k)
+	if !ok || e.Algorithm != "PersAlltoAll" || e.ElapsedMs != 2.25 {
+		t.Fatalf("reopened entry %v %v", e, ok)
+	}
+	// A version bump discards the file.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bumped := strings.Replace(string(raw), fmt.Sprintf("\"version\": %d", CacheVersion), "\"version\": 999", 1)
+	if bumped == string(raw) {
+		t.Fatal("version field not found in cache file")
+	}
+	if err := os.WriteFile(path, []byte(bumped), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := OpenCache(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.Len() != 0 {
+		t.Fatalf("stale-version cache kept %d entries", c3.Len())
+	}
+	// A corrupt key invalidates only itself.
+	corrupt := strings.Replace(string(raw), k.String(), "not-a-key", 1)
+	if err := os.WriteFile(path, []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c4, err := OpenCache(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c4.Len() != 0 {
+		t.Fatalf("corrupt-key cache kept %d entries", c4.Len())
+	}
+}
+
+func TestRankCoversAllCandidates(t *testing.T) {
+	m := machine.Paragon(8, 8)
+	spec := testSpec(t, m, dist.Square(), 16)
+	var names []string
+	for _, a := range core.Registry() {
+		names = append(names, a.Name())
+	}
+	ranking := Rank(m, spec, 4096, names)
+	if len(ranking) != len(names) {
+		t.Fatalf("%d scores for %d candidates", len(ranking), len(names))
+	}
+	seen := map[string]bool{}
+	for i, sc := range ranking {
+		if seen[sc.Algorithm] {
+			t.Fatalf("duplicate %s", sc.Algorithm)
+		}
+		seen[sc.Algorithm] = true
+		if sc.PredictedMs <= 0 || math.IsNaN(sc.PredictedMs) {
+			t.Fatalf("%s predicted %v", sc.Algorithm, sc.PredictedMs)
+		}
+		if i > 0 && ranking[i].PredictedMs < ranking[i-1].PredictedMs {
+			t.Fatalf("ranking not sorted at %d", i)
+		}
+	}
+}
+
+func TestDecideDeterministic(t *testing.T) {
+	m := machine.Paragon(10, 10)
+	spec := testSpec(t, m, dist.Cross(), 20)
+	req := Request{Spec: spec, MsgLen: 4096, DistName: "Cr"}
+	// Two independent cold planners (fresh caches) must agree exactly.
+	var decs []*Decision
+	for i := 0; i < 2; i++ {
+		p := New(Options{Cache: NewMemCache(0), Workers: 1 + i*3})
+		d, err := p.Decide(context.Background(), m, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decs = append(decs, d)
+	}
+	if decs[0].Algorithm != decs[1].Algorithm || decs[0].ElapsedMs != decs[1].ElapsedMs {
+		t.Fatalf("cold decisions differ: %+v vs %+v", decs[0], decs[1])
+	}
+	if !reflect.DeepEqual(decs[0].Probes, decs[1].Probes) {
+		t.Fatalf("probe sets differ: %v vs %v", decs[0].Probes, decs[1].Probes)
+	}
+	if decs[0].Source != "probe" {
+		t.Fatalf("cold decision source %q", decs[0].Source)
+	}
+}
+
+func TestDecideWarmCacheSkipsProbes(t *testing.T) {
+	m := machine.T3D(64)
+	spec := testSpec(t, m, dist.Equal(), 16)
+	req := Request{Spec: spec, MsgLen: 2048, DistName: "E"}
+	p := New(Options{Cache: NewMemCache(0)})
+	probes := metrics.GetCounter(CounterProbes)
+	hits := metrics.GetCounter(CounterCacheHits)
+
+	cold, err := p.Decide(context.Background(), m, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, h0 := probes.Value(), hits.Value()
+	warm, err := p.Decide(context.Background(), m, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probes.Value() != p0 {
+		t.Fatalf("warm decide ran %d probes, want 0", probes.Value()-p0)
+	}
+	if hits.Value() != h0+1 {
+		t.Fatalf("warm decide recorded %d hits, want 1", hits.Value()-h0)
+	}
+	if warm.Source != "cache" || warm.Algorithm != cold.Algorithm || warm.ElapsedMs != cold.ElapsedMs {
+		t.Fatalf("warm decision %+v does not reproduce cold %+v", warm, cold)
+	}
+}
+
+func TestDecideAnalyticOnly(t *testing.T) {
+	m := machine.Paragon(6, 6)
+	spec := testSpec(t, m, dist.Band(), 6)
+	p := New(Options{TopK: -1})
+	probes := metrics.GetCounter(CounterProbes)
+	p0 := probes.Value()
+	d, err := p.Decide(context.Background(), m, Request{Spec: spec, MsgLen: 1024, DistName: "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probes.Value() != p0 {
+		t.Fatal("analytic-only decision ran probes")
+	}
+	if d.Source != "analytic" || d.Algorithm != d.Ranking[0].Algorithm {
+		t.Fatalf("analytic decision %+v", d)
+	}
+}
+
+func TestDecideCancelled(t *testing.T) {
+	m := machine.Paragon(10, 10)
+	spec := testSpec(t, m, dist.Equal(), 30)
+	p := New(Options{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Decide(ctx, m, Request{Spec: spec, MsgLen: 4096, DistName: "E"}); err == nil {
+		t.Fatal("cancelled decide succeeded")
+	}
+}
+
+func TestDecideProbeBudget(t *testing.T) {
+	m := machine.Paragon(6, 6)
+	spec := testSpec(t, m, dist.Equal(), 9)
+	// A budget of 1 operation disqualifies every probe.
+	p := New(Options{MaxProbeOps: 1})
+	_, err := p.Decide(context.Background(), m, Request{Spec: spec, MsgLen: 1024, DistName: "E"})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("want budget-exhausted error, got %v", err)
+	}
+}
+
+func TestDecideRejectsInvalidSpec(t *testing.T) {
+	m := machine.Paragon(4, 4)
+	bad := core.Spec{Rows: 4, Cols: 4, Sources: []int{99}, Indexing: topology.SnakeRowMajor}
+	p := New(Options{})
+	if _, err := p.Decide(context.Background(), m, Request{Spec: bad, MsgLen: 64}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	spec := testSpec(t, m, dist.Equal(), 4)
+	if _, err := p.Decide(context.Background(), m, Request{Spec: spec, MsgLen: -1}); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}

@@ -161,6 +161,11 @@ type engine struct {
 // (deadlock or MaxOps), so Run does not leak blocked goroutines.
 type errAbort struct{}
 
+// ErrMaxOps is wrapped by the error Run returns when the MaxOps budget is
+// exhausted; callers distinguishing "too expensive" from "broken" match it
+// with errors.Is.
+var ErrMaxOps = errors.New("operation budget exhausted")
+
 // Run executes fn on every processor of the simulated machine described by
 // net (one processor per placed rank) and returns the timing result. The
 // network's link state and statistics are reset first, so a Network can be
@@ -234,7 +239,7 @@ func (e *engine) loop() error {
 		if e.opts.MaxOps > 0 {
 			ops++
 			if ops > e.opts.MaxOps {
-				return fmt.Errorf("sim: aborted after %d operations (MaxOps)", e.opts.MaxOps)
+				return fmt.Errorf("sim: aborted after %d operations (MaxOps): %w", e.opts.MaxOps, ErrMaxOps)
 			}
 		}
 		next := -1

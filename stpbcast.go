@@ -38,7 +38,9 @@
 package stpbcast
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/bench"
@@ -49,6 +51,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/network"
+	"repro/internal/plan"
 	"repro/internal/sim"
 	"repro/internal/tcp"
 	"repro/internal/topology"
@@ -104,9 +107,15 @@ type Params = metrics.Params
 // LinkStats describes one directed physical link's accumulated load.
 type LinkStats = network.LinkStats
 
+// AutoAlgorithm, used as Config.Algorithm, lets the planner pick the
+// algorithm: Simulate, RunLive and RunTCP then call Plan and run its
+// choice. See Plan for the selection procedure.
+const AutoAlgorithm = "Auto"
+
 // Config selects one broadcast instance.
 type Config struct {
-	// Algorithm is the paper name of the algorithm ("Br_xy_source").
+	// Algorithm is the paper name of the algorithm ("Br_xy_source"), or
+	// AutoAlgorithm to let the planner choose.
 	Algorithm string
 	// Distribution is the paper name of the source distribution ("E"),
 	// ignored when Sources lists explicit ranks.
@@ -114,7 +123,9 @@ type Config struct {
 	// Sources is the number of source processors, 1 ≤ s ≤ p.
 	Sources int
 	// SourceRanks optionally pins the exact source ranks (row-major);
-	// when set, Distribution and Sources are ignored.
+	// when set, Distribution and Sources are ignored. The slice need not
+	// be sorted (a sorted copy is taken); duplicate or out-of-range ranks
+	// are reported as errors.
 	SourceRanks []int
 	// MsgBytes is the per-source message length L.
 	MsgBytes int
@@ -123,14 +134,20 @@ type Config struct {
 	RowMajor bool
 	// MsgBytesFor, when non-nil, gives each source its own message
 	// length, overriding MsgBytes (the paper's variable-length
-	// experiment). It is only called for source ranks.
+	// experiment). It is only called for source ranks; a negative return
+	// is clamped to a zero-length message.
 	MsgBytesFor func(rank int) int
 }
 
 // spec resolves the configuration against a machine.
 func (c Config) spec(m *Machine) (core.Spec, error) {
-	sources := c.SourceRanks
-	if sources == nil {
+	var sources []int
+	if c.SourceRanks != nil {
+		// Sort a copy so callers may list ranks in any order; duplicates
+		// and out-of-range ranks then surface as Validate errors.
+		sources = append([]int(nil), c.SourceRanks...)
+		sort.Ints(sources)
+	} else {
 		d, err := dist.ByName(c.Distribution)
 		if err != nil {
 			return core.Spec{}, err
@@ -149,6 +166,70 @@ func (c Config) spec(m *Machine) (core.Spec, error) {
 		return core.Spec{}, err
 	}
 	return spec, nil
+}
+
+// PlanDecision is the planner's output: the chosen algorithm, the tier
+// that chose it, and the supporting analytic ranking and probe timings.
+type PlanDecision = plan.Decision
+
+// defaultPlanner backs AutoAlgorithm and Plan: analytic ranking, probe
+// refinement of the front-runners, and a process-wide in-memory plan
+// cache so repeated Auto runs of the same instance skip the probes.
+var defaultPlanner = plan.New(plan.Options{Cache: plan.NewMemCache(0)})
+
+// Plan selects the fastest algorithm for the broadcast instance described
+// by cfg (cfg.Algorithm is ignored). It ranks every registered algorithm
+// with the analytic cost model, refines the front-runners with
+// deterministic probe simulations, and caches the decision in memory:
+// identical inputs yield the identical plan, and a warm cache answers
+// without probing. For variable-length runs (MsgBytesFor) the planner
+// prices the longest source message.
+func Plan(m *Machine, cfg Config) (*PlanDecision, error) {
+	spec, err := cfg.spec(m)
+	if err != nil {
+		return nil, err
+	}
+	return planFor(m, cfg, spec)
+}
+
+func planFor(m *Machine, cfg Config, spec core.Spec) (*PlanDecision, error) {
+	if cfg.MsgBytes < 0 {
+		return nil, fmt.Errorf("stpbcast: negative message length %d", cfg.MsgBytes)
+	}
+	msgLen := cfg.MsgBytes
+	distName := ""
+	if cfg.SourceRanks == nil {
+		distName = cfg.Distribution
+	}
+	if cfg.MsgBytesFor != nil {
+		// Variable lengths: plan for the longest message, the term that
+		// dominates every algorithm's cost.
+		msgLen = 0
+		distName = "" // per-source lengths make the named-dist key too coarse
+		for _, src := range spec.Sources {
+			if n := cfg.MsgBytesFor(src); n > msgLen {
+				msgLen = n
+			}
+		}
+	}
+	return defaultPlanner.Decide(context.Background(), m, plan.Request{
+		Spec:     spec,
+		MsgLen:   msgLen,
+		DistName: distName,
+	})
+}
+
+// resolveAlgorithm maps cfg.Algorithm to a runnable algorithm, invoking
+// the planner for AutoAlgorithm.
+func resolveAlgorithm(m *Machine, cfg Config, spec core.Spec) (Algorithm, error) {
+	if cfg.Algorithm != AutoAlgorithm {
+		return core.ByName(cfg.Algorithm)
+	}
+	dec, err := planFor(m, cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	return core.ByName(dec.Algorithm)
 }
 
 // SimResult is the outcome of a simulated broadcast.
@@ -193,16 +274,15 @@ func SimulateTraced(m *Machine, cfg Config, cap int) (*SimResult, error) {
 }
 
 func simulate(m *Machine, cfg Config, rec *trace.Recorder, alg Algorithm) (*SimResult, error) {
-	if alg == nil {
-		var err error
-		alg, err = core.ByName(cfg.Algorithm)
-		if err != nil {
-			return nil, err
-		}
-	}
 	spec, err := cfg.spec(m)
 	if err != nil {
 		return nil, err
+	}
+	if alg == nil {
+		alg, err = resolveAlgorithm(m, cfg, spec)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if cfg.MsgBytes < 0 {
 		return nil, fmt.Errorf("stpbcast: negative message length %d", cfg.MsgBytes)
@@ -211,26 +291,27 @@ func simulate(m *Machine, cfg Config, rec *trace.Recorder, alg Algorithm) (*SimR
 	if err != nil {
 		return nil, err
 	}
-	payloadFor := func(rank int) []byte { return make([]byte, cfg.MsgBytes) }
+	// The simulator prices message lengths only, so sources enter with
+	// length-only parts — no payload buffers are allocated.
+	lenFor := func(rank int) int { return cfg.MsgBytes }
 	if cfg.MsgBytesFor != nil {
-		payloadFor = func(rank int) []byte {
-			n := cfg.MsgBytesFor(rank)
-			if n < 0 {
-				n = 0
+		lenFor = func(rank int) int {
+			if n := cfg.MsgBytesFor(rank); n > 0 {
+				return n
 			}
-			return make([]byte, n)
+			return 0
 		}
 	}
-	payloads := make(map[int][]byte, len(spec.Sources))
+	msgLens := make(map[int]int, len(spec.Sources))
 	for _, src := range spec.Sources {
-		payloads[src] = payloadFor(src)
+		msgLens[src] = lenFor(src)
 	}
 	opts := sim.Options{}
 	if rec != nil {
 		opts.Tracer = rec
 	}
 	res, err := sim.Run(nw, func(pr *sim.Proc) {
-		mine := core.InitialMessage(spec, pr.Rank(), payloads[pr.Rank()])
+		mine := core.InitialMessageLen(spec, pr.Rank(), msgLens[pr.Rank()])
 		alg.Run(pr, spec, mine)
 	}, opts)
 	if err != nil {
@@ -265,11 +346,11 @@ type LiveResult struct {
 // called for source ranks. The machine's logical mesh defines the rank
 // space; its cost model is not used (live runs measure wall-clock only).
 func RunLive(m *Machine, cfg Config, payload func(rank int) []byte) (*LiveResult, error) {
-	alg, err := core.ByName(cfg.Algorithm)
+	spec, err := cfg.spec(m)
 	if err != nil {
 		return nil, err
 	}
-	spec, err := cfg.spec(m)
+	alg, err := resolveAlgorithm(m, cfg, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -298,11 +379,11 @@ func RunLive(m *Machine, cfg Config, payload func(rank int) []byte) (*LiveResult
 // distributed-transport engine; use it to exercise the algorithms over a
 // transport with real serialization.
 func RunTCP(m *Machine, cfg Config, payload func(rank int) []byte) (*LiveResult, error) {
-	alg, err := core.ByName(cfg.Algorithm)
+	spec, err := cfg.spec(m)
 	if err != nil {
 		return nil, err
 	}
-	spec, err := cfg.spec(m)
+	alg, err := resolveAlgorithm(m, cfg, spec)
 	if err != nil {
 		return nil, err
 	}

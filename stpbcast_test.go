@@ -79,6 +79,101 @@ func TestSimulateExplicitSources(t *testing.T) {
 	}
 }
 
+func TestSourceRanksValidation(t *testing.T) {
+	m := stpbcast.NewParagon(4, 4)
+	// Unsorted ranks are accepted (a sorted copy is taken) and the
+	// caller's slice is left untouched.
+	ranks := []int{12, 3, 9}
+	res, err := stpbcast.Simulate(m, stpbcast.Config{
+		Algorithm: "Br_Lin", SourceRanks: ranks, MsgBytes: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no simulated time")
+	}
+	if ranks[0] != 12 || ranks[1] != 3 || ranks[2] != 9 {
+		t.Fatalf("caller slice mutated: %v", ranks)
+	}
+	// Duplicates and out-of-range ranks are errors, not panics.
+	for _, bad := range [][]int{
+		{3, 3, 9},    // duplicate
+		{3, 16},      // one past the last rank
+		{-1, 3},      // negative
+		{3, 99},      // far out of range
+		{5, 9, 5, 1}, // duplicate after sorting
+	} {
+		if _, err := stpbcast.Simulate(m, stpbcast.Config{
+			Algorithm: "Br_Lin", SourceRanks: bad, MsgBytes: 128,
+		}); err == nil {
+			t.Errorf("SourceRanks %v accepted", bad)
+		}
+	}
+}
+
+func TestAutoAlgorithm(t *testing.T) {
+	m := stpbcast.NewParagon(6, 6)
+	cfg := stpbcast.Config{
+		Algorithm: stpbcast.AutoAlgorithm, Distribution: "Cr", Sources: 9, MsgBytes: 2048,
+	}
+	auto, err := stpbcast.Simulate(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := stpbcast.Plan(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Algorithm == "" || dec.Algorithm == stpbcast.AutoAlgorithm {
+		t.Fatalf("planner chose %q", dec.Algorithm)
+	}
+	// Auto must run exactly the planned algorithm.
+	fixed, err := stpbcast.Simulate(m, stpbcast.Config{
+		Algorithm: dec.Algorithm, Distribution: "Cr", Sources: 9, MsgBytes: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Elapsed != fixed.Elapsed {
+		t.Fatalf("Auto ran %v, planned algorithm %s runs %v", auto.Elapsed, dec.Algorithm, fixed.Elapsed)
+	}
+	// Identical inputs produce the identical plan (warm cache included).
+	again, err := stpbcast.Plan(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Algorithm != dec.Algorithm {
+		t.Fatalf("plan not stable: %s then %s", dec.Algorithm, again.Algorithm)
+	}
+	// The Auto choice never loses to a canonical fixed policy.
+	repos, err := stpbcast.Simulate(m, stpbcast.Config{
+		Algorithm: "Repos_xy_source", Distribution: "Cr", Sources: 9, MsgBytes: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Elapsed > repos.Elapsed {
+		t.Fatalf("Auto (%v) slower than Repos_xy_source (%v)", auto.Elapsed, repos.Elapsed)
+	}
+}
+
+func TestAutoAlgorithmLive(t *testing.T) {
+	m := stpbcast.NewParagon(3, 3)
+	cfg := stpbcast.Config{Algorithm: stpbcast.AutoAlgorithm, Distribution: "E", Sources: 3, MsgBytes: 32}
+	res, err := stpbcast.RunLive(m, cfg, func(rank int) []byte {
+		return []byte(fmt.Sprintf("auto-%02d", rank))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, got := range res.Bundles {
+		if len(got) != 3 {
+			t.Fatalf("rank %d holds %d messages, want 3", rank, len(got))
+		}
+	}
+}
+
 func TestSimulateErrors(t *testing.T) {
 	m := stpbcast.NewParagon(4, 4)
 	cases := []stpbcast.Config{
