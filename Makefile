@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test race fuzz-seeds bench ci
+.PHONY: all fmt vet build test race chaos fuzz-seeds bench ci
 
 all: ci
 
@@ -21,8 +21,15 @@ build:
 test:
 	$(GO) test ./...
 
+# Explicit -timeout: the chaos/abort tests promise every injected hang
+# becomes an error; a silent-hang regression should fail fast.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 5m ./...
+
+# Fault-injection and abort-path suites only, plus the stpbench sweep.
+chaos:
+	$(GO) test -race -timeout 4m -run 'Chaos|Abort|Deadline|Timeout|Cancel|DialRetry|DialPermanent|MidRunConnection' ./internal/faults/ ./internal/live/ ./internal/tcp/ .
+	$(GO) run ./cmd/stpbench -chaos
 
 # Replay the checked-in fuzz seed corpora (no fuzzing time budget).
 fuzz-seeds:

@@ -1,5 +1,6 @@
 // Command stpbench regenerates the tables and figures of the paper's
-// evaluation section on the simulated Paragon and T3D.
+// evaluation section on the simulated Paragon and T3D, and runs the
+// chaos harness over the real-byte engines.
 //
 // Usage:
 //
@@ -7,6 +8,8 @@
 //	stpbench -fig fig3           # print one figure's series
 //	stpbench -fig all            # print everything (EXPERIMENTS.md input)
 //	stpbench -fig fig6 -csv      # machine-readable output
+//	stpbench -chaos              # fault-injection sweep over both engines
+//	stpbench -chaos -seed 7 -engine tcp
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	stpbcast "repro"
 	"repro/internal/viz"
@@ -24,9 +28,16 @@ func main() {
 	fig := flag.String("fig", "", "experiment id to run (e.g. fig3), or 'all'")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	plot := flag.Bool("plot", false, "render each curve as an ASCII bar chart")
+	chaos := flag.Bool("chaos", false, "run the fault-injection sweep on the real-byte engines")
+	seed := flag.Int64("seed", 1, "chaos schedule seed (same seed = same fault schedule)")
+	engine := flag.String("engine", "both", "chaos engine: live, tcp or both")
 	flag.Parse()
 
 	switch {
+	case *chaos:
+		if err := runChaos(*seed, *engine); err != nil {
+			fatal(err)
+		}
 	case *list:
 		for _, e := range stpbcast.Experiments() {
 			fmt.Printf("%-18s %s\n", e.ID, e.Title)
@@ -85,6 +96,133 @@ func printCSV(s *stpbcast.Series) {
 		}
 		fmt.Println(strings.Join(row, ","))
 	}
+}
+
+// chaosScenario is one fault plan plus the invariant it must satisfy:
+// graceful plans complete with intact bundles, disruptive plans abort
+// with a diagnostic containing wantErr — never a silent hang (the
+// deadlines bound every wait) and never a wrong answer.
+type chaosScenario struct {
+	name    string
+	plan    func(seed int64) stpbcast.FaultPlan
+	wantErr string // "" = must complete gracefully
+}
+
+var chaosScenarios = []chaosScenario{
+	{
+		name: "dup+delay",
+		plan: func(seed int64) stpbcast.FaultPlan {
+			return stpbcast.FaultPlan{Seed: seed, Duplicate: 0.25, DelayProb: 0.25, MaxDelay: time.Millisecond}
+		},
+	},
+	{
+		name:    "drop-all",
+		plan:    func(seed int64) stpbcast.FaultPlan { return stpbcast.FaultPlan{Seed: seed, Drop: 1} },
+		wantErr: "deadline",
+	},
+	{
+		name: "kill-rank",
+		plan: func(seed int64) stpbcast.FaultPlan {
+			return stpbcast.FaultPlan{Kills: []stpbcast.FaultKill{{Rank: 5, Op: 2}}}
+		},
+		wantErr: "rank 5 killed",
+	},
+}
+
+// runChaos sweeps every broadcast algorithm across the fault scenarios
+// on the requested real-byte engines, verifying that each injected
+// fault either degrades gracefully (bundles identical to a fault-free
+// run) or aborts cleanly with a diagnostic. It returns an error if any
+// run violates that invariant.
+func runChaos(seed int64, engine string) error {
+	engines := []string{"live", "tcp"}
+	switch engine {
+	case "both":
+	case "live", "tcp":
+		engines = []string{engine}
+	default:
+		return fmt.Errorf("unknown engine %q (want live, tcp or both)", engine)
+	}
+	m := stpbcast.NewParagon(3, 4)
+	payload := func(rank int) []byte { return []byte(fmt.Sprintf("chaos-%02d", rank)) }
+	fmt.Printf("chaos sweep: seed %d, 3x4 mesh, 5 Cr sources\n", seed)
+	fmt.Printf("%-22s %-5s %-10s %-8s %s\n", "algorithm", "eng", "scenario", "faults", "outcome")
+	failures := 0
+	for _, alg := range stpbcast.Algorithms() {
+		cfg := stpbcast.Config{Algorithm: alg.Name(), Distribution: "Cr", Sources: 5, MsgBytes: 0}
+		for _, eng := range engines {
+			for _, sc := range chaosScenarios {
+				plan := sc.plan(seed)
+				opts := stpbcast.RunOptions{
+					RecvTimeout: 2 * time.Second,
+					RunTimeout:  60 * time.Second,
+					Faults:      &plan,
+				}
+				var res *stpbcast.LiveResult
+				var err error
+				if eng == "live" {
+					res, err = stpbcast.RunLiveOpts(m, cfg, payload, opts)
+				} else {
+					res, err = stpbcast.RunTCPOpts(m, cfg, payload, opts)
+				}
+				outcome, bad := chaosOutcome(sc, res, err)
+				nfaults := "-"
+				if res != nil {
+					nfaults = fmt.Sprintf("%d", len(res.Faults))
+				}
+				fmt.Printf("%-22s %-5s %-10s %-8s %s\n", alg.Name(), eng, sc.name, nfaults, outcome)
+				if bad {
+					failures++
+				}
+			}
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d chaos run(s) violated the degrade-or-abort invariant", failures)
+	}
+	fmt.Println("all chaos runs degraded gracefully or aborted with a diagnostic")
+	return nil
+}
+
+// chaosOutcome classifies one chaos run against its scenario's
+// invariant and reports whether it violated it.
+func chaosOutcome(sc chaosScenario, res *stpbcast.LiveResult, err error) (string, bool) {
+	if sc.wantErr == "" {
+		if err != nil {
+			return fmt.Sprintf("FAIL: graceful plan aborted: %v", err), true
+		}
+		for rank, got := range res.Bundles {
+			if len(got) != 5 {
+				return fmt.Sprintf("FAIL: rank %d holds %d/5 messages", rank, len(got)), true
+			}
+			for origin, data := range got {
+				if want := fmt.Sprintf("chaos-%02d", origin); string(data) != want {
+					return fmt.Sprintf("FAIL: rank %d origin %d corrupted payload %q", rank, origin, data), true
+				}
+			}
+		}
+		return "ok (bundles intact)", false
+	}
+	if err == nil {
+		// A disruptive plan that injected nothing (e.g. the killed rank
+		// finished before reaching its operation index) leaves the run
+		// healthy — inert, not a violation.
+		if res != nil && len(res.Faults) == 0 {
+			return "ok (plan inert for this algorithm)", false
+		}
+		return fmt.Sprintf("FAIL: expected abort mentioning %q, run completed", sc.wantErr), true
+	}
+	if !strings.Contains(err.Error(), sc.wantErr) {
+		return fmt.Sprintf("FAIL: abort lost diagnostic %q: %v", sc.wantErr, err), true
+	}
+	return "ok (clean abort: " + firstLine(err.Error()) + ")", false
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 func fatal(err error) {

@@ -95,7 +95,10 @@ type Comm interface {
 	Size() int
 	// Send transfers a message to dst. It blocks for the local software
 	// cost of issuing the send (buffer copy), not for delivery — the
-	// semantics of NX csend with a buffered message.
+	// semantics of NX csend with a buffered message. This buffered
+	// (non-rendezvous) contract is load-bearing: Exchange and the
+	// dissemination barriers have all participants send before they
+	// receive, which deadlocks on a rendezvous transport.
 	Send(dst int, m Message)
 	// Recv blocks until the next message from src arrives and returns it.
 	// Messages between a fixed (src, dst) pair arrive in send order.
@@ -135,10 +138,14 @@ func MarkIter(c Comm, i int) {
 	}
 }
 
-// Exchange performs the paper's pairwise step: send our bundle to peer and
-// receive theirs, in a deadlock-free order (lower rank sends first; the
-// engines' sends are buffered, so either order is safe, but a fixed order
-// keeps the simulation deterministic and mirrors the NX implementations).
+// Exchange performs the paper's pairwise step: send our bundle to peer
+// and receive theirs. Both sides send before receiving — there is no
+// rank-ordered turn-taking — which is deadlock-free only because every
+// engine's Send is buffered (it blocks for the local cost of handing the
+// message to the transport, never for the peer to post a matching
+// receive, mirroring NX csend). An engine with rendezvous sends would
+// deadlock here; any future engine must preserve the buffered-send
+// contract documented on Comm.Send.
 func Exchange(c Comm, peer int, m Message) Message {
 	if peer == c.Rank() {
 		panic(fmt.Sprintf("comm: rank %d exchanging with itself", peer))

@@ -10,9 +10,25 @@
 // copied on send, so a sender mutating its buffer after Send cannot
 // corrupt a message in flight — matching the buffered semantics of NX
 // csend that the algorithms assume.
+//
+// # Failure semantics
+//
+// A run fails in one of three ways, and in every case Run returns an
+// error instead of hanging:
+//
+//   - A processor panics: the machine aborts, every processor blocked in
+//     Recv or Barrier is unwound, and Run reports the panicking rank as
+//     the root cause.
+//   - A blocking Recv or Barrier wait exceeds Options.RecvTimeout: the
+//     stalled processor aborts the machine with an error naming the
+//     blocked rank and the peer it was waiting on.
+//   - Options.Context is canceled or Options.RunTimeout elapses: the
+//     machine aborts and the returned error carries the cancellation
+//     cause plus the first blocked rank/peer that was unwound.
 package live
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -20,6 +36,22 @@ import (
 
 	"repro/internal/comm"
 )
+
+// Options harden a run against hangs and stuck peers. The zero value
+// preserves the historical behaviour: no deadlines, no cancellation.
+type Options struct {
+	// Context, when non-nil, cancels the run: blocked processors are
+	// unwound and Run returns an error carrying ctx.Err().
+	Context context.Context
+	// RunTimeout, when positive, bounds the whole run (fn execution,
+	// not including goroutine spawn overhead).
+	RunTimeout time.Duration
+	// RecvTimeout, when positive, bounds any single blocking Recv or
+	// Barrier wait. A processor blocked longer aborts the machine with
+	// an error naming the rank and the awaited peer — this is what
+	// turns a hung or dead peer into a diagnosable failure.
+	RecvTimeout time.Duration
+}
 
 // errAbort is the panic value used to unwind processors blocked on a
 // machine that has already failed.
@@ -49,7 +81,10 @@ type barrier struct {
 	aborted *atomic.Bool
 }
 
-func (b *barrier) wait() {
+// wait blocks until all participants arrive. A positive stall bounds the
+// wait: exceeding it panics with a deadline error attributed to rank (a
+// root cause, not an unwind).
+func (b *barrier) wait(rank int, stall time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	gen := b.gen
@@ -60,7 +95,20 @@ func (b *barrier) wait() {
 		b.cond.Broadcast()
 		return
 	}
+	var deadline time.Time
+	if stall > 0 {
+		deadline = time.Now().Add(stall)
+		timer := time.AfterFunc(stall, func() {
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
 	for gen == b.gen && !b.aborted.Load() {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			panic(fmt.Errorf("live: rank %d: barrier wait exceeded %v deadline", rank, stall))
+		}
 		b.cond.Wait()
 	}
 	if gen == b.gen { // woken by abort, not by release
@@ -87,17 +135,27 @@ type Result struct {
 
 // machine is the shared state of one live run.
 type machine struct {
-	size    int
-	inboxes []*inbox
-	bar     *barrier
-	aborted atomic.Bool
+	size        int
+	inboxes     []*inbox
+	bar         *barrier
+	recvTimeout time.Duration
+
+	aborted    atomic.Bool
+	abortMu    sync.Mutex
+	abortCause error
 }
 
-// abort marks the machine failed and wakes every blocked processor.
-func (m *machine) abort() {
-	if m.aborted.Swap(true) {
+// abort marks the machine failed with the given cause and wakes every
+// blocked processor. The first cause wins.
+func (m *machine) abort(cause error) {
+	m.abortMu.Lock()
+	if m.aborted.Load() {
+		m.abortMu.Unlock()
 		return
 	}
+	m.abortCause = cause
+	m.aborted.Store(true)
+	m.abortMu.Unlock()
 	for _, ib := range m.inboxes {
 		ib.mu.Lock()
 		ib.cond.Broadcast()
@@ -106,6 +164,13 @@ func (m *machine) abort() {
 	m.bar.mu.Lock()
 	m.bar.cond.Broadcast()
 	m.bar.mu.Unlock()
+}
+
+// cause returns the abort cause (nil if the machine has not aborted).
+func (m *machine) cause() error {
+	m.abortMu.Lock()
+	defer m.abortMu.Unlock()
+	return m.abortCause
 }
 
 // Proc is one live processor's handle. It implements comm.Comm. Methods
@@ -153,18 +218,34 @@ func (p *Proc) Send(dst int, m comm.Message) {
 	p.stats.SendBytes += bytes
 }
 
-// Recv implements comm.Comm.
+// Recv implements comm.Comm. With Options.RecvTimeout set, a wait
+// exceeding the timeout panics with a deadline error naming this rank
+// and src; the machine then aborts and Run returns that error.
 func (p *Proc) Recv(src int) comm.Message {
 	if src < 0 || src >= p.m.size {
 		panic(fmt.Sprintf("live: rank %d receives from invalid rank %d", p.rank, src))
 	}
 	ib := p.m.inboxes[p.rank]
+	var deadline time.Time
+	if p.m.recvTimeout > 0 {
+		deadline = time.Now().Add(p.m.recvTimeout)
+		timer := time.AfterFunc(p.m.recvTimeout, func() {
+			ib.mu.Lock()
+			ib.cond.Broadcast()
+			ib.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
 	ib.mu.Lock()
 	box := &ib.boxes[src]
 	for len(box.queue) == 0 {
 		if p.m.aborted.Load() {
 			ib.mu.Unlock()
-			panic(errAbort{cause: "recv"})
+			panic(errAbort{cause: fmt.Sprintf("recv from %d", src)})
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			ib.mu.Unlock()
+			panic(fmt.Errorf("live: rank %d: recv from %d exceeded %v deadline", p.rank, src, p.m.recvTimeout))
 		}
 		ib.cond.Wait()
 	}
@@ -177,17 +258,26 @@ func (p *Proc) Recv(src int) comm.Message {
 }
 
 // Barrier implements comm.Comm.
-func (p *Proc) Barrier() { p.m.bar.wait() }
+func (p *Proc) Barrier() { p.m.bar.wait(p.rank, p.m.recvTimeout) }
 
 // Run executes fn concurrently on p processors and returns operation
 // counts. If any processor panics, the machine aborts: every processor
 // blocked in Recv or Barrier is unwound, and Run returns the first
-// processor's error (by rank).
+// processor's error (by rank). Run applies no deadlines; see RunOpts.
 func Run(p int, fn func(*Proc)) (*Result, error) {
+	return RunOpts(p, Options{}, fn)
+}
+
+// RunOpts is Run with deadlines and cancellation (see Options). Every
+// failure mode — a panicking rank, a Recv or Barrier wait past
+// RecvTimeout, context cancellation, the whole run past RunTimeout —
+// unwinds all processors and returns an error; RunOpts never hangs on a
+// dead or stuck rank when a deadline is configured.
+func RunOpts(p int, opts Options, fn func(*Proc)) (*Result, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("live: non-positive processor count %d", p)
 	}
-	m := &machine{size: p, inboxes: make([]*inbox, p)}
+	m := &machine{size: p, inboxes: make([]*inbox, p), recvTimeout: opts.RecvTimeout}
 	for i := range m.inboxes {
 		ib := &inbox{boxes: make([]mailbox, p)}
 		ib.cond = sync.NewCond(&ib.mu)
@@ -195,6 +285,35 @@ func Run(p int, fn func(*Proc)) (*Result, error) {
 	}
 	m.bar = &barrier{size: p, aborted: &m.aborted}
 	m.bar.cond = sync.NewCond(&m.bar.mu)
+
+	// External abort sources: context cancellation and the whole-run
+	// deadline. The watcher exits when the run completes.
+	watchDone := make(chan struct{})
+	var watchWG sync.WaitGroup
+	var ctxDone <-chan struct{}
+	if opts.Context != nil {
+		ctxDone = opts.Context.Done()
+	}
+	var runTimer *time.Timer
+	var runTimeoutC <-chan time.Time
+	if opts.RunTimeout > 0 {
+		runTimer = time.NewTimer(opts.RunTimeout)
+		runTimeoutC = runTimer.C
+	}
+	if ctxDone != nil || runTimeoutC != nil {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			select {
+			case <-ctxDone:
+				m.abort(fmt.Errorf("run canceled: %w", opts.Context.Err()))
+			case <-runTimeoutC:
+				m.abort(fmt.Errorf("run exceeded %v deadline", opts.RunTimeout))
+			case <-watchDone:
+			}
+		}()
+	}
+
 	procs := make([]*Proc, p)
 	// roots collects root-cause panics; unwinds collects processors that
 	// were unwound by the abort. Root causes take precedence in the
@@ -213,17 +332,26 @@ func Run(p int, fn func(*Proc)) (*Result, error) {
 			defer func() {
 				if r := recover(); r != nil {
 					if ab, ok := r.(errAbort); ok {
-						unwinds[pr.rank] = fmt.Errorf("live: rank %d unwound (%s) after machine abort", pr.rank, ab.cause)
+						unwinds[pr.rank] = fmt.Errorf("live: rank %d unwound (%s) after machine abort: %w", pr.rank, ab.cause, m.cause())
 						return
 					}
-					roots[pr.rank] = fmt.Errorf("live: rank %d panicked: %v", pr.rank, r)
-					m.abort()
+					err, ok := r.(error)
+					if !ok {
+						err = fmt.Errorf("%v", r)
+					}
+					roots[pr.rank] = fmt.Errorf("live: rank %d panicked: %w", pr.rank, err)
+					m.abort(roots[pr.rank])
 				}
 			}()
 			fn(pr)
 		}()
 	}
 	wg.Wait()
+	close(watchDone)
+	if runTimer != nil {
+		runTimer.Stop()
+	}
+	watchWG.Wait()
 	res := &Result{Elapsed: time.Since(start), Procs: make([]ProcStats, p)}
 	for i, pr := range procs {
 		res.Procs[i] = pr.stats

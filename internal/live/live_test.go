@@ -2,13 +2,30 @@ package live
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/comm"
 )
+
+// waitGoroutinesSettle asserts the goroutine count returns to near the
+// baseline: every processor and watcher goroutine of the run unwound.
+func waitGoroutinesSettle(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked after run: %d, baseline %d", runtime.NumGoroutine(), baseline)
+}
 
 func TestPingPongContent(t *testing.T) {
 	res, err := Run(2, func(p *Proc) {
@@ -172,5 +189,119 @@ func TestSingleProcessor(t *testing.T) {
 	}
 	if res.Procs[0].Sends != 1 || res.Procs[0].Recvs != 1 {
 		t.Fatalf("self-op counts: %+v", res.Procs[0])
+	}
+}
+
+// TestAbortUnwindsRecvAndBarrierBlockedPeers is the abort-path matrix of
+// the robustness layer: one rank panics mid-run while some peers are
+// blocked in Recv and others in Barrier. Every goroutine must unwind and
+// the root-cause rank must be the reported error.
+func TestAbortUnwindsRecvAndBarrierBlockedPeers(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	_, err := Run(6, func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			// Give peers time to block before dying.
+			time.Sleep(20 * time.Millisecond)
+			panic("rank 0 died mid-run")
+		case 1, 2:
+			p.Recv(0)
+		default:
+			p.Barrier()
+		}
+	})
+	if err == nil {
+		t.Fatal("abort not reported")
+	}
+	if !strings.Contains(err.Error(), "rank 0") || !strings.Contains(err.Error(), "rank 0 died mid-run") {
+		t.Fatalf("root cause misattributed: %v", err)
+	}
+	waitGoroutinesSettle(t, baseline)
+}
+
+func TestRecvDeadlineNamesRankAndPeer(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	start := time.Now()
+	_, err := RunOpts(4, Options{RecvTimeout: 100 * time.Millisecond}, func(p *Proc) {
+		if p.Rank() == 1 {
+			p.Recv(3) // rank 3 never sends: a dead-peer hang
+		}
+	})
+	if err == nil {
+		t.Fatal("hang not converted to an error")
+	}
+	for _, want := range []string{"rank 1", "recv from 3", "deadline"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("deadline error %q missing %q", err, want)
+		}
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("deadline abort took %v", d)
+	}
+	waitGoroutinesSettle(t, baseline)
+}
+
+func TestBarrierStallDeadline(t *testing.T) {
+	_, err := RunOpts(3, Options{RecvTimeout: 100 * time.Millisecond}, func(p *Proc) {
+		if p.Rank() == 2 {
+			return // never enters the barrier
+		}
+		p.Barrier()
+	})
+	if err == nil {
+		t.Fatal("barrier stall not converted to an error")
+	}
+	if !strings.Contains(err.Error(), "barrier") || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("barrier stall error: %v", err)
+	}
+}
+
+func TestRunTimeoutAborts(t *testing.T) {
+	start := time.Now()
+	_, err := RunOpts(2, Options{RunTimeout: 100 * time.Millisecond}, func(p *Proc) {
+		p.Recv(1 - p.Rank()) // mutual hang: nobody ever sends
+	})
+	if err == nil {
+		t.Fatal("run deadline not enforced")
+	}
+	if !strings.Contains(err.Error(), "run exceeded") {
+		t.Fatalf("run-deadline error: %v", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("run-deadline abort took %v", d)
+	}
+}
+
+func TestContextCancelAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err := RunOpts(2, Options{Context: ctx}, func(p *Proc) {
+		p.Recv(1 - p.Rank())
+	})
+	if err == nil {
+		t.Fatal("cancellation not enforced")
+	}
+	if !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("cancel error: %v", err)
+	}
+}
+
+// TestDeadlineDoesNotFireOnHealthyRun guards against false positives:
+// a run with steady traffic under a short RecvTimeout must succeed.
+func TestDeadlineDoesNotFireOnHealthyRun(t *testing.T) {
+	const rounds = 20
+	_, err := RunOpts(4, Options{RecvTimeout: time.Second, RunTimeout: 30 * time.Second}, func(p *Proc) {
+		next, prev := (p.Rank()+1)%4, (p.Rank()+3)%4
+		for i := 0; i < rounds; i++ {
+			p.Send(next, comm.Message{Tag: i, Parts: []comm.Part{{Origin: p.Rank(), Data: []byte{byte(i)}}}})
+			p.Recv(prev)
+			p.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatalf("healthy run failed under deadlines: %v", err)
 	}
 }

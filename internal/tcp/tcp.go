@@ -9,16 +9,42 @@
 //
 // Semantics match the other engines: blocking Send/Recv with FIFO order
 // per (sender, receiver) pair, and a Barrier (dissemination barrier over
-// the same transport). Run sets the machine up, executes the algorithm on
-// every processor, and tears all connections down.
+// the same transport). Barrier frames travel on the same sockets but are
+// demultiplexed by tag and metered separately, so ProcStats counts agree
+// with the live engine for the same algorithm. Run sets the machine up,
+// executes the algorithm on every processor, and tears all connections
+// down.
+//
+// # Failure semantics
+//
+// Run never hangs when a deadline is configured; every failure becomes a
+// returned error:
+//
+//   - A processor panics: the machine aborts, all connections are closed,
+//     every peer blocked in Recv or Barrier unwinds, and Run reports the
+//     panicking rank as the root cause.
+//   - A connection fails mid-run: the affected receiver reports the
+//     broken link as the root cause; everyone else unwinds. A connection
+//     closing during post-run teardown is not an error.
+//   - A blocking Recv or Barrier wait exceeds Options.RecvTimeout: the
+//     stalled rank aborts the run with an error naming itself and the
+//     awaited peer.
+//   - Options.Context is canceled or Options.RunTimeout elapses: the run
+//     aborts with the cancellation cause.
+//   - A transient dial failure during setup is retried with exponential
+//     backoff (Options.DialAttempts / DialBackoff) before it is fatal.
 package tcp
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/comm"
@@ -29,11 +55,56 @@ import (
 // connection; a per-frame magic is unnecessary on an owned socket.
 
 const (
-	// barrierTag marks dissemination-barrier frames.
-	barrierTag = -1
+	// barrierTag marks dissemination-barrier frames. The value is
+	// reserved: Send rejects algorithm messages carrying it, so barrier
+	// and data traffic can never be confused even when frames from the
+	// same peer interleave. (Algorithm code uses small tags such as the
+	// -1 of comm.Sub barriers, which are ordinary data here.)
+	barrierTag = math.MinInt32
 	// maxPartLen guards against corrupt length prefixes.
 	maxPartLen = 1 << 30
+
+	defaultDialAttempts = 3
+	defaultDialBackoff  = 10 * time.Millisecond
+	// handshakeTimeout bounds the rank-announcement read so a dialer
+	// dying between connect and handshake cannot hang setup.
+	handshakeTimeout = 10 * time.Second
 )
+
+// Options harden a run. The zero value preserves the historical
+// behaviour (no deadlines, no cancellation, default dial retry).
+type Options struct {
+	// Context, when non-nil, cancels the run (setup backoff waits and
+	// the algorithm phase): blocked processors unwind and Run returns
+	// an error carrying ctx.Err().
+	Context context.Context
+	// RunTimeout, when positive, bounds the algorithm phase.
+	RunTimeout time.Duration
+	// RecvTimeout, when positive, bounds any single blocking Recv or
+	// Barrier wait; exceeding it aborts the run with an error naming
+	// the blocked rank and the peer it waited on.
+	RecvTimeout time.Duration
+	// DialAttempts is the number of connection attempts per peer during
+	// setup (0 means the default of 3); transient dial failures are
+	// retried with exponential backoff starting at DialBackoff (0 means
+	// 10ms).
+	DialAttempts int
+	DialBackoff  time.Duration
+	// Dial overrides the dialer (fault injection in tests); nil means
+	// net.Dial("tcp", addr).
+	Dial func(addr string) (net.Conn, error)
+}
+
+// abortError poisons inboxes when the machine fails. external marks
+// context/deadline aborts (reported as root causes); otherwise the
+// error is a secondary unwind of a failure first reported elsewhere.
+type abortError struct {
+	cause    error
+	external bool
+}
+
+func (e *abortError) Error() string { return e.cause.Error() }
+func (e *abortError) Unwrap() error { return e.cause }
 
 func writeFrame(w io.Writer, m comm.Message) error {
 	hdr := make([]byte, 8)
@@ -86,17 +157,28 @@ func readFrame(r io.Reader) (comm.Message, error) {
 	return m, nil
 }
 
-// inbox is one processor's per-source message queues.
+// inbox is one processor's receive side: per-source data FIFOs plus
+// per-source barrier-frame counters, under one lock. The reader pumps
+// demultiplex by tag, so a queued barrier frame can never be handed to
+// algorithm code (and vice versa).
 type inbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	boxes [][]comm.Message
-	dead  error
+	mu       sync.Mutex
+	cond     *sync.Cond
+	boxes    [][]comm.Message
+	barriers []int
+	dead     error
 }
 
 func (ib *inbox) push(src int, m comm.Message) {
 	ib.mu.Lock()
 	ib.boxes[src] = append(ib.boxes[src], m)
+	ib.cond.Broadcast()
+	ib.mu.Unlock()
+}
+
+func (ib *inbox) pushBarrier(src int) {
+	ib.mu.Lock()
+	ib.barriers[src]++
 	ib.cond.Broadcast()
 	ib.mu.Unlock()
 }
@@ -110,31 +192,100 @@ func (ib *inbox) fail(err error) {
 	ib.mu.Unlock()
 }
 
-func (ib *inbox) pop(src int) (comm.Message, error) {
-	ib.mu.Lock()
-	defer ib.mu.Unlock()
-	for len(ib.boxes[src]) == 0 {
+// waitLocked blocks (mu held) until ready, the inbox dies, or the
+// timeout elapses.
+func (ib *inbox) waitLocked(timeout time.Duration, ready func() bool) error {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		timer := time.AfterFunc(timeout, func() {
+			ib.mu.Lock()
+			ib.cond.Broadcast()
+			ib.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+	for !ready() {
 		if ib.dead != nil {
-			return comm.Message{}, ib.dead
+			return ib.dead
+		}
+		if timeout > 0 && !time.Now().Before(deadline) {
+			return fmt.Errorf("blocked %v (receive deadline exceeded)", timeout)
 		}
 		ib.cond.Wait()
+	}
+	return nil
+}
+
+func (ib *inbox) pop(src int, timeout time.Duration) (comm.Message, error) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if err := ib.waitLocked(timeout, func() bool { return len(ib.boxes[src]) > 0 }); err != nil {
+		return comm.Message{}, err
 	}
 	m := ib.boxes[src][0]
 	ib.boxes[src] = ib.boxes[src][1:]
 	return m, nil
 }
 
+func (ib *inbox) popBarrier(src int, timeout time.Duration) error {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if err := ib.waitLocked(timeout, func() bool { return ib.barriers[src] > 0 }); err != nil {
+		return err
+	}
+	ib.barriers[src]--
+	return nil
+}
+
+// state is the machine-wide lifecycle shared by all processors and
+// reader pumps: it distinguishes graceful post-run teardown (closed)
+// from a mid-run abort, and owns the one-shot closing of connections.
+type state struct {
+	procs     []*Proc
+	closed    atomic.Bool
+	aborted   atomic.Bool
+	closeOnce sync.Once
+}
+
+func (st *state) closeConns() {
+	st.closeOnce.Do(func() {
+		for _, pr := range st.procs {
+			for _, c := range pr.conns {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}
+	})
+}
+
+// abort fails every inbox with reason and closes all connections so
+// blocked readers and writers unwind. The first abort wins.
+func (st *state) abort(reason *abortError) {
+	if st.aborted.Swap(true) {
+		return
+	}
+	for _, pr := range st.procs {
+		pr.in.fail(reason)
+	}
+	st.closeConns()
+}
+
 // Proc is one processor's handle on the TCP machine. It implements
 // comm.Comm; methods must only be called from the algorithm goroutine.
 type Proc struct {
-	rank  int
-	size  int
-	conns []net.Conn // conns[peer], nil at own rank
-	wmu   []sync.Mutex
-	in    *inbox
+	rank        int
+	size        int
+	conns       []net.Conn // conns[peer], nil at own rank
+	wmu         []sync.Mutex
+	in          *inbox
+	st          *state
+	recvTimeout time.Duration
 
-	sends, recvs         int
-	sendBytes, recvBytes int64
+	sends, recvs               int
+	sendBytes, recvBytes       int64
+	barrierSends, barrierRecvs int
 }
 
 var _ comm.Comm = (*Proc)(nil)
@@ -145,11 +296,30 @@ func (p *Proc) Rank() int { return p.rank }
 // Size implements comm.Comm.
 func (p *Proc) Size() int { return p.size }
 
+// writeTo frames m onto the pair's socket, classifying failures: a
+// write error after the machine aborted is a secondary unwind, not a
+// root cause.
+func (p *Proc) writeTo(dst int, m comm.Message) {
+	p.wmu[dst].Lock()
+	err := writeFrame(p.conns[dst], m)
+	p.wmu[dst].Unlock()
+	if err != nil {
+		serr := fmt.Errorf("send to %d: %w", dst, err)
+		if p.st.aborted.Load() {
+			panic(&abortError{cause: serr})
+		}
+		panic(serr)
+	}
+}
+
 // Send implements comm.Comm: frame the message onto the pair's socket.
 // Self-sends short-circuit through the local inbox.
 func (p *Proc) Send(dst int, m comm.Message) {
 	if dst < 0 || dst >= p.size {
 		panic(fmt.Sprintf("tcp: rank %d sends to invalid rank %d", p.rank, dst))
+	}
+	if m.Tag == barrierTag {
+		panic(fmt.Sprintf("tcp: rank %d sends message with reserved barrier tag %d", p.rank, m.Tag))
 	}
 	p.sends++
 	p.sendBytes += int64(m.Len())
@@ -157,22 +327,19 @@ func (p *Proc) Send(dst int, m comm.Message) {
 		p.in.push(p.rank, m)
 		return
 	}
-	p.wmu[dst].Lock()
-	err := writeFrame(p.conns[dst], m)
-	p.wmu[dst].Unlock()
-	if err != nil {
-		panic(fmt.Errorf("tcp: rank %d send to %d: %w", p.rank, dst, err))
-	}
+	p.writeTo(dst, m)
 }
 
-// Recv implements comm.Comm.
+// Recv implements comm.Comm. With Options.RecvTimeout set, a wait
+// exceeding the timeout aborts the run with an error naming this rank
+// and src.
 func (p *Proc) Recv(src int) comm.Message {
 	if src < 0 || src >= p.size {
 		panic(fmt.Sprintf("tcp: rank %d receives from invalid rank %d", p.rank, src))
 	}
-	m, err := p.in.pop(src)
+	m, err := p.in.pop(src, p.recvTimeout)
 	if err != nil {
-		panic(fmt.Errorf("tcp: rank %d recv from %d: %w", p.rank, src, err))
+		panic(fmt.Errorf("recv from %d: %w", src, err))
 	}
 	p.recvs++
 	p.recvBytes += int64(m.Len())
@@ -180,21 +347,36 @@ func (p *Proc) Recv(src int) comm.Message {
 }
 
 // Barrier implements comm.Comm as a dissemination barrier over the wire:
-// ⌈log2 p⌉ rounds of empty frames.
+// ⌈log2 p⌉ rounds of empty frames. Barrier frames bypass Send/Recv and
+// their counters — they are transport overhead, metered separately in
+// ProcStats.BarrierSends/BarrierRecvs — so algorithm operation counts
+// agree with the live engine.
 func (p *Proc) Barrier() {
 	for k := 1; k < p.size; k <<= 1 {
-		p.Send((p.rank+k)%p.size, comm.Message{Tag: barrierTag})
-		p.Recv((p.rank - k + p.size) % p.size)
+		dst := (p.rank + k) % p.size
+		src := (p.rank - k + p.size) % p.size
+		p.barrierSends++
+		p.writeTo(dst, comm.Message{Tag: barrierTag})
+		if err := p.in.popBarrier(src, p.recvTimeout); err != nil {
+			panic(fmt.Errorf("barrier recv from %d: %w", src, err))
+		}
+		p.barrierRecvs++
 	}
 }
 
-// ProcStats counts one processor's operations.
+// ProcStats counts one processor's operations. Sends/Recvs and the byte
+// counters cover algorithm traffic only; barrier dissemination frames
+// are counted apart so stats agree with the live engine.
 type ProcStats struct {
 	Rank      int
 	Sends     int
 	Recvs     int
 	SendBytes int64
 	RecvBytes int64
+	// BarrierSends/BarrierRecvs count dissemination-barrier frames
+	// (transport overhead, excluded from the fields above).
+	BarrierSends int
+	BarrierRecvs int
 }
 
 // Result is the outcome of a TCP run.
@@ -208,18 +390,60 @@ type Result struct {
 
 // Run builds a fully connected loopback TCP machine of p processors,
 // executes fn on each, and tears the machine down. A panic on any
-// processor aborts the run and is returned as an error.
+// processor aborts the run and is returned as an error. Run applies no
+// deadlines; see RunOpts.
 func Run(p int, fn func(*Proc)) (*Result, error) {
+	return RunOpts(p, Options{}, fn)
+}
+
+// RunOpts is Run with deadlines, cancellation and dial-retry control
+// (see Options). With a RecvTimeout or RunTimeout configured, a hung or
+// killed rank becomes a returned error naming the blocked rank and
+// peer — never a silent hang.
+func RunOpts(p int, opts Options, fn func(*Proc)) (*Result, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("tcp: non-positive processor count %d", p)
 	}
-	procs, cleanup, err := setup(p)
+	procs, st, cleanup, err := setup(p, opts)
 	if err != nil {
 		return nil, err
 	}
 	defer cleanup()
 
-	errs := make([]error, p)
+	// External abort sources: context cancellation and the whole-run
+	// deadline.
+	watchDone := make(chan struct{})
+	var watchWG sync.WaitGroup
+	var ctxDone <-chan struct{}
+	if opts.Context != nil {
+		ctxDone = opts.Context.Done()
+	}
+	var runTimer *time.Timer
+	var runTimeoutC <-chan time.Time
+	if opts.RunTimeout > 0 {
+		runTimer = time.NewTimer(opts.RunTimeout)
+		runTimeoutC = runTimer.C
+	}
+	if ctxDone != nil || runTimeoutC != nil {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			select {
+			case <-ctxDone:
+				st.abort(&abortError{cause: fmt.Errorf("run canceled: %w", opts.Context.Err()), external: true})
+			case <-runTimeoutC:
+				st.abort(&abortError{cause: fmt.Errorf("run exceeded %v deadline", opts.RunTimeout), external: true})
+			case <-watchDone:
+			}
+		}()
+	}
+
+	// roots collects root-cause failures (panics, deadline overruns,
+	// broken connections, cancellation); unwinds collects processors
+	// that merely unwound after someone else failed. Roots take
+	// precedence in the returned error.
+	roots := make([]error, p)
+	unwinds := make([]error, p)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < p; i++ {
@@ -229,23 +453,48 @@ func Run(p int, fn func(*Proc)) (*Result, error) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					errs[pr.rank] = fmt.Errorf("tcp: rank %d: %v", pr.rank, r)
-					// Fail fast: poison every inbox so blocked peers
-					// unwind instead of hanging on a dead processor.
-					for _, other := range procs {
-						other.in.fail(fmt.Errorf("machine aborted by rank %d", pr.rank))
+					rerr, ok := r.(error)
+					if !ok {
+						rerr = fmt.Errorf("%v", r)
 					}
+					var ab *abortError
+					if errors.As(rerr, &ab) && !ab.external {
+						unwinds[pr.rank] = fmt.Errorf("tcp: rank %d unwound: %w", pr.rank, rerr)
+						return
+					}
+					roots[pr.rank] = fmt.Errorf("tcp: rank %d: %w", pr.rank, rerr)
+					// Fail fast: poison every inbox and close the
+					// connections so blocked peers unwind instead of
+					// hanging on a dead processor.
+					st.abort(&abortError{cause: fmt.Errorf("machine aborted by rank %d", pr.rank)})
 				}
 			}()
 			fn(pr)
 		}()
 	}
 	wg.Wait()
+	// Graceful teardown begins: reader pumps must treat connection
+	// closes from here on as normal, not as mid-run failures.
+	st.closed.Store(true)
+	close(watchDone)
+	if runTimer != nil {
+		runTimer.Stop()
+	}
+	watchWG.Wait()
 	res := &Result{Elapsed: time.Since(start), Procs: make([]ProcStats, p)}
 	for i, pr := range procs {
-		res.Procs[i] = ProcStats{Rank: i, Sends: pr.sends, Recvs: pr.recvs, SendBytes: pr.sendBytes, RecvBytes: pr.recvBytes}
+		res.Procs[i] = ProcStats{
+			Rank: i, Sends: pr.sends, Recvs: pr.recvs,
+			SendBytes: pr.sendBytes, RecvBytes: pr.recvBytes,
+			BarrierSends: pr.barrierSends, BarrierRecvs: pr.barrierRecvs,
+		}
 	}
-	for _, e := range errs {
+	for _, e := range roots {
+		if e != nil {
+			return nil, e
+		}
+	}
+	for _, e := range unwinds {
 		if e != nil {
 			return nil, e
 		}
@@ -254,36 +503,66 @@ func Run(p int, fn func(*Proc)) (*Result, error) {
 }
 
 // setup listens on p loopback ports and builds the full mesh of
-// connections: rank i dials every rank j < i; the accepting side learns
-// the dialer's rank from a one-byte-frame handshake.
-func setup(p int) ([]*Proc, func(), error) {
+// connections: rank i dials every rank j < i (with retry and backoff
+// for transient failures); the accepting side learns the dialer's rank
+// from a one-byte-frame handshake.
+func setup(p int, opts Options) ([]*Proc, *state, func(), error) {
+	dial := opts.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	attempts := opts.DialAttempts
+	if attempts <= 0 {
+		attempts = defaultDialAttempts
+	}
+	backoff := opts.DialBackoff
+	if backoff <= 0 {
+		backoff = defaultDialBackoff
+	}
+	var ctxDone <-chan struct{}
+	if opts.Context != nil {
+		ctxDone = opts.Context.Done()
+	}
+
 	listeners := make([]net.Listener, p)
 	procs := make([]*Proc, p)
+	st := &state{procs: procs}
 	for i := 0; i < p; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return nil, nil, fmt.Errorf("tcp: listen for rank %d: %w", i, err)
+			for _, l := range listeners[:i] {
+				l.Close()
+			}
+			return nil, nil, nil, fmt.Errorf("tcp: listen for rank %d: %w", i, err)
 		}
 		listeners[i] = ln
-		in := &inbox{boxes: make([][]comm.Message, p)}
+		in := &inbox{boxes: make([][]comm.Message, p), barriers: make([]int, p)}
 		in.cond = sync.NewCond(&in.mu)
-		procs[i] = &Proc{rank: i, size: p, conns: make([]net.Conn, p), wmu: make([]sync.Mutex, p), in: in}
+		procs[i] = &Proc{
+			rank: i, size: p, conns: make([]net.Conn, p), wmu: make([]sync.Mutex, p),
+			in: in, st: st, recvTimeout: opts.RecvTimeout,
+		}
 	}
 	cleanup := func() {
 		for _, ln := range listeners {
 			ln.Close()
 		}
-		for _, pr := range procs {
-			for _, c := range pr.conns {
-				if c != nil {
-					c.Close()
-				}
-			}
-		}
+		st.closeConns()
 	}
 
 	var wg sync.WaitGroup
 	errCh := make(chan error, p*p)
+	// fail reports a setup error and unblocks everyone still waiting in
+	// Accept by closing the listeners.
+	var failOnce sync.Once
+	fail := func(err error) {
+		errCh <- err
+		failOnce.Do(func() {
+			for _, ln := range listeners {
+				ln.Close()
+			}
+		})
+	}
 	// Accept side: rank j accepts p-1-j connections (from all i > j).
 	for j := 0; j < p; j++ {
 		expect := p - 1 - j
@@ -296,17 +575,23 @@ func setup(p int) ([]*Proc, func(), error) {
 			for k := 0; k < expect; k++ {
 				conn, err := listeners[j].Accept()
 				if err != nil {
-					errCh <- fmt.Errorf("tcp: accept at rank %d: %w", j, err)
+					fail(fmt.Errorf("tcp: accept at rank %d: %w", j, err))
 					return
 				}
+				// Bound the handshake so a dialer dying between connect
+				// and announce cannot hang setup.
+				conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
 				var hs [4]byte
 				if _, err := io.ReadFull(conn, hs[:]); err != nil {
-					errCh <- fmt.Errorf("tcp: handshake at rank %d: %w", j, err)
+					conn.Close()
+					fail(fmt.Errorf("tcp: handshake at rank %d: %w", j, err))
 					return
 				}
+				conn.SetReadDeadline(time.Time{})
 				peer := int(int32(binary.BigEndian.Uint32(hs[:])))
 				if peer <= j || peer >= p {
-					errCh <- fmt.Errorf("tcp: rank %d handshake from invalid peer %d", j, peer)
+					conn.Close()
+					fail(fmt.Errorf("tcp: rank %d handshake from invalid peer %d", j, peer))
 					return
 				}
 				procs[j].conns[peer] = conn
@@ -314,20 +599,36 @@ func setup(p int) ([]*Proc, func(), error) {
 		}(j, expect)
 	}
 	// Dial side: rank i dials every j < i and announces itself.
+	// Transient dial failures are retried with exponential backoff.
 	for i := 1; i < p; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			for j := 0; j < i; j++ {
-				conn, err := net.Dial("tcp", listeners[j].Addr().String())
-				if err != nil {
-					errCh <- fmt.Errorf("tcp: rank %d dial %d: %w", i, j, err)
-					return
+				addr := listeners[j].Addr().String()
+				var conn net.Conn
+				for attempt := 0; ; attempt++ {
+					var err error
+					conn, err = dial(addr)
+					if err == nil {
+						break
+					}
+					if attempt+1 >= attempts {
+						fail(fmt.Errorf("tcp: rank %d dial rank %d failed after %d attempts: %w", i, j, attempts, err))
+						return
+					}
+					select {
+					case <-time.After(backoff << attempt):
+					case <-ctxDone:
+						fail(fmt.Errorf("tcp: rank %d dial rank %d: setup canceled: %w", i, j, opts.Context.Err()))
+						return
+					}
 				}
 				var hs [4]byte
 				binary.BigEndian.PutUint32(hs[:], uint32(int32(i)))
 				if _, err := conn.Write(hs[:]); err != nil {
-					errCh <- fmt.Errorf("tcp: rank %d handshake to %d: %w", i, j, err)
+					conn.Close()
+					fail(fmt.Errorf("tcp: rank %d handshake to %d: %w", i, j, err))
 					return
 				}
 				procs[i].conns[j] = conn
@@ -338,13 +639,15 @@ func setup(p int) ([]*Proc, func(), error) {
 	select {
 	case err := <-errCh:
 		cleanup()
-		return nil, nil, err
+		return nil, nil, nil, err
 	default:
 	}
 
-	// Reader pumps: one goroutine per connection end decodes frames into
-	// the owner's inbox. They exit when the connection closes at
-	// teardown.
+	// Reader pumps: one goroutine per connection end demultiplexes
+	// frames by tag into the owner's data or barrier queues. A read
+	// error during the run is a mid-run connection failure (root cause,
+	// machine aborts); after the run has completed (st.closed) it is
+	// the normal teardown close and is ignored.
 	for i := 0; i < p; i++ {
 		pr := procs[i]
 		for peer, conn := range pr.conns {
@@ -355,15 +658,21 @@ func setup(p int) ([]*Proc, func(), error) {
 				for {
 					m, err := readFrame(conn)
 					if err != nil {
-						// Normal at teardown; poison only if the
-						// machine is still live (pop handles nil dead).
-						pr.in.fail(fmt.Errorf("tcp: connection %d→%d: %w", peer, pr.rank, err))
+						if st.closed.Load() {
+							return // graceful post-run teardown
+						}
+						pr.in.fail(fmt.Errorf("tcp: connection %d→%d failed: %w", peer, pr.rank, err))
+						st.abort(&abortError{cause: fmt.Errorf("machine aborted: connection %d→%d failed", peer, pr.rank)})
 						return
 					}
-					pr.in.push(peer, m)
+					if m.Tag == barrierTag {
+						pr.in.pushBarrier(peer)
+					} else {
+						pr.in.push(peer, m)
+					}
 				}
 			}(pr, peer, conn)
 		}
 	}
-	return procs, cleanup, nil
+	return procs, st, cleanup, nil
 }

@@ -2,15 +2,21 @@ package tcp
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"net"
 	"reflect"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/collective"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/live"
 	"repro/internal/topology"
 )
 
@@ -199,5 +205,335 @@ func TestSingleProcessorTCP(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// waitGoroutinesSettle asserts the goroutine count returns to near the
+// baseline: algorithm goroutines, reader pumps and watchers all unwound.
+func waitGoroutinesSettle(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked after run: %d, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+// TestBarrierTrafficDoesNotInflateStats runs the same workload on the
+// tcp and live engines: the algorithm-level operation counts must agree,
+// with tcp's barrier dissemination frames metered separately.
+func TestBarrierTrafficDoesNotInflateStats(t *testing.T) {
+	const p = 4
+	workload := func(rank int, send func(int, comm.Message), recv func(int) comm.Message, barrier func()) {
+		barrier()
+		if rank == 0 {
+			send(1, comm.Message{Parts: []comm.Part{{Origin: 0, Data: []byte("x")}}})
+		}
+		if rank == 1 {
+			recv(0)
+		}
+		barrier()
+	}
+	tcpRes, err := Run(p, func(pr *Proc) {
+		workload(pr.Rank(), pr.Send, pr.Recv, pr.Barrier)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRes, err := live.Run(p, func(pr *live.Proc) {
+		workload(pr.Rank(), pr.Send, pr.Recv, pr.Barrier)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p; i++ {
+		tp, lp := tcpRes.Procs[i], liveRes.Procs[i]
+		if tp.Sends != lp.Sends || tp.Recvs != lp.Recvs || tp.SendBytes != lp.SendBytes || tp.RecvBytes != lp.RecvBytes {
+			t.Errorf("rank %d: tcp stats %+v disagree with live %+v", i, tp, lp)
+		}
+		// Two barriers on p=4 are 2 rounds each: 4 barrier frames both ways.
+		if tp.BarrierSends != 4 || tp.BarrierRecvs != 4 {
+			t.Errorf("rank %d: barrier frames %d/%d, want 4/4", i, tp.BarrierSends, tp.BarrierRecvs)
+		}
+	}
+}
+
+// TestBarrierAndDataInterleave is the tag-matching regression test: a
+// data frame queued ahead of a barrier frame from the same peer must not
+// be consumed by the barrier (nor the barrier frame delivered to Recv).
+func TestBarrierAndDataInterleave(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		_, err := Run(2, func(p *Proc) {
+			if p.Rank() == 0 {
+				// Data frame enters the 0→1 socket ahead of rank 0's
+				// barrier frame.
+				p.Send(1, comm.Message{Tag: 7, Parts: []comm.Part{{Origin: 0, Data: []byte("data-before-barrier")}}})
+				p.Barrier()
+			} else {
+				p.Barrier()
+				m := p.Recv(0)
+				if m.Tag != 7 || string(m.Parts[0].Data) != "data-before-barrier" {
+					t.Errorf("barrier swallowed the data frame: got %+v", m)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSubBarrierOverTCP: comm.Sub's dissemination barrier uses ordinary
+// tagged messages (tag -1), which must remain algorithm data on the tcp
+// engine — only the reserved engine tag is barrier traffic.
+func TestSubBarrierOverTCP(t *testing.T) {
+	members := []int{0, 2, 3}
+	_, err := Run(4, func(p *Proc) {
+		in := false
+		for _, m := range members {
+			if m == p.Rank() {
+				in = true
+			}
+		}
+		if !in {
+			return
+		}
+		sub, err := comm.NewSub(p, members)
+		if err != nil {
+			t.Errorf("NewSub: %v", err)
+			return
+		}
+		for i := 0; i < 3; i++ {
+			sub.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservedTagRejected(t *testing.T) {
+	_, err := Run(2, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, comm.Message{Tag: barrierTag})
+		} else {
+			p.Recv(0)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "reserved") {
+		t.Fatalf("reserved tag accepted: %v", err)
+	}
+}
+
+func TestTCPRecvDeadlineNamesRankAndPeer(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	start := time.Now()
+	_, err := RunOpts(4, Options{RecvTimeout: 200 * time.Millisecond}, func(p *Proc) {
+		if p.Rank() == 2 {
+			p.Recv(0) // rank 0 never sends
+		}
+	})
+	if err == nil {
+		t.Fatal("hang not converted to an error")
+	}
+	for _, want := range []string{"rank 2", "recv from 0", "deadline"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("deadline error %q missing %q", err, want)
+		}
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("deadline abort took %v", d)
+	}
+	waitGoroutinesSettle(t, baseline)
+}
+
+func TestTCPBarrierDeadline(t *testing.T) {
+	_, err := RunOpts(3, Options{RecvTimeout: 200 * time.Millisecond}, func(p *Proc) {
+		if p.Rank() == 1 {
+			return // never enters the barrier
+		}
+		p.Barrier()
+	})
+	if err == nil {
+		t.Fatal("barrier stall not converted to an error")
+	}
+	if !strings.Contains(err.Error(), "barrier recv") || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("barrier stall error: %v", err)
+	}
+}
+
+func TestTCPRunTimeoutAborts(t *testing.T) {
+	start := time.Now()
+	_, err := RunOpts(2, Options{RunTimeout: 150 * time.Millisecond}, func(p *Proc) {
+		p.Recv(1 - p.Rank()) // mutual hang
+	})
+	if err == nil {
+		t.Fatal("run deadline not enforced")
+	}
+	if !strings.Contains(err.Error(), "run exceeded") {
+		t.Fatalf("run-deadline error: %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("run-deadline abort took %v", d)
+	}
+}
+
+func TestTCPContextCancelAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err := RunOpts(2, Options{Context: ctx}, func(p *Proc) {
+		p.Recv(1 - p.Rank())
+	})
+	if err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("cancel error: %v", err)
+	}
+}
+
+// TestDialRetryAbsorbsTransientFailures injects dial failures on the
+// first two attempts per address; the retry loop must absorb them and
+// the run must complete correctly.
+func TestDialRetryAbsorbsTransientFailures(t *testing.T) {
+	var mu sync.Mutex
+	tries := make(map[string]int)
+	flakyDial := func(addr string) (net.Conn, error) {
+		mu.Lock()
+		tries[addr]++
+		n := tries[addr]
+		mu.Unlock()
+		if n <= 2 {
+			return nil, fmt.Errorf("injected transient dial failure %d to %s", n, addr)
+		}
+		return net.Dial("tcp", addr)
+	}
+	res, err := RunOpts(3, Options{Dial: flakyDial, DialAttempts: 4, DialBackoff: time.Millisecond}, func(p *Proc) {
+		next := (p.Rank() + 1) % 3
+		p.Send(next, comm.Message{Parts: []comm.Part{{Origin: p.Rank(), Data: []byte{byte(p.Rank())}}}})
+		m := p.Recv((p.Rank() + 2) % 3)
+		if m.Parts[0].Data[0] != byte((p.Rank()+2)%3) {
+			t.Errorf("rank %d got wrong payload after flaky setup", p.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatalf("transient dial failures not absorbed: %v", err)
+	}
+	if res == nil || len(res.Procs) != 3 {
+		t.Fatal("missing result after retried setup")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for addr, n := range tries {
+		if n < 3 {
+			t.Errorf("address %s dialed only %d times; retry did not engage", addr, n)
+		}
+	}
+}
+
+// TestDialPermanentFailureErrorsOut: when every attempt fails, setup
+// must return an error (and not deadlock the accept side).
+func TestDialPermanentFailureErrorsOut(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	deadDial := func(addr string) (net.Conn, error) {
+		return nil, fmt.Errorf("injected permanent dial failure to %s", addr)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunOpts(3, Options{Dial: deadDial, DialAttempts: 2, DialBackoff: time.Millisecond}, func(p *Proc) {})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "after 2 attempts") {
+			t.Fatalf("permanent dial failure error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("setup deadlocked on permanent dial failure")
+	}
+	waitGoroutinesSettle(t, baseline)
+}
+
+// TestMidRunConnectionFailureIsAttributed closes one connection in the
+// middle of a run (via the Dial hook, which hands the test the socket):
+// the run must abort with an error naming the broken link, not hang and
+// not misreport a graceful teardown.
+func TestMidRunConnectionFailureIsAttributed(t *testing.T) {
+	var mu sync.Mutex
+	var conns []net.Conn
+	grabDial := func(addr string) (net.Conn, error) {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+		}
+		return c, err
+	}
+	release := make(chan struct{})
+	_, err := RunOpts(2, Options{Dial: grabDial, RecvTimeout: 5 * time.Second}, func(p *Proc) {
+		if p.Rank() == 0 {
+			<-release
+			p.Recv(1) // the 1→0 socket is cut while we wait
+		} else {
+			mu.Lock()
+			for _, c := range conns {
+				c.Close() // cut every dialed socket mid-run
+			}
+			mu.Unlock()
+			close(release)
+			p.Recv(0) // blocks; must unwind when the machine aborts
+		}
+	})
+	if err == nil {
+		t.Fatal("mid-run connection failure not reported")
+	}
+	if !strings.Contains(err.Error(), "connection") && !strings.Contains(err.Error(), "send to") {
+		t.Fatalf("failure not attributed to the transport: %v", err)
+	}
+}
+
+// TestTCPAbortUnwindsRecvAndBarrierBlockedPeers mirrors the live-engine
+// abort matrix over real sockets: one rank panics while peers block in
+// Recv and Barrier; everything must unwind with the root cause reported.
+func TestTCPAbortUnwindsRecvAndBarrierBlockedPeers(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	_, err := Run(6, func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			time.Sleep(20 * time.Millisecond)
+			panic("rank 0 died over tcp")
+		case 1, 2:
+			p.Recv(0)
+		default:
+			p.Barrier()
+		}
+	})
+	if err == nil {
+		t.Fatal("abort not reported")
+	}
+	if !strings.Contains(err.Error(), "rank 0 died over tcp") {
+		t.Fatalf("root cause misattributed: %v", err)
+	}
+	waitGoroutinesSettle(t, baseline)
+}
+
+// TestTCPDeadlineHealthyRun guards against deadline false positives on
+// a busy run over real sockets.
+func TestTCPDeadlineHealthyRun(t *testing.T) {
+	const rounds = 10
+	_, err := RunOpts(4, Options{RecvTimeout: 2 * time.Second, RunTimeout: 60 * time.Second}, func(p *Proc) {
+		next, prev := (p.Rank()+1)%4, (p.Rank()+3)%4
+		for i := 0; i < rounds; i++ {
+			p.Send(next, comm.Message{Tag: i, Parts: []comm.Part{{Origin: p.Rank(), Data: []byte{byte(i)}}}})
+			p.Recv(prev)
+			p.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatalf("healthy run failed under deadlines: %v", err)
 	}
 }

@@ -47,6 +47,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/faults"
 	"repro/internal/live"
 	"repro/internal/machine"
 	"repro/internal/metrics"
@@ -339,6 +340,102 @@ type LiveResult struct {
 	// Bundles holds, per rank, the received original messages keyed by
 	// origin rank. Every rank holds every source's payload.
 	Bundles []map[int][]byte
+	// Faults lists the faults injected during the run (in canonical
+	// order), when RunOptions.Faults was set. A successful run with a
+	// non-empty Faults list degraded gracefully: every injected fault
+	// was absorbed without changing the delivered bundles.
+	Faults []FaultEvent
+}
+
+// FaultPlan describes a deterministic fault schedule for chaos runs:
+// per-link drop/delay/duplicate/corrupt probabilities decided by Seed,
+// explicit targeted link faults, and rank kills. See internal/faults
+// for the full semantics; the schedule is a pure function of the plan,
+// so a failing seed replays exactly.
+type FaultPlan = faults.Plan
+
+// Fault is one explicit link fault of a FaultPlan.
+type Fault = faults.Fault
+
+// FaultKill schedules the death of one rank at a given operation index.
+type FaultKill = faults.KillAt
+
+// FaultEvent records one injected fault.
+type FaultEvent = faults.Event
+
+// Fault kinds for FaultPlan.Faults entries.
+const (
+	FaultDrop      = faults.Drop
+	FaultDelay     = faults.Delay
+	FaultDuplicate = faults.Duplicate
+	FaultCorrupt   = faults.Corrupt
+)
+
+// RunOptions harden a RunLiveOpts/RunTCPOpts run. The zero value means
+// no deadlines, no cancellation and no fault injection — the behaviour
+// of plain RunLive/RunTCP.
+type RunOptions struct {
+	// Context, when non-nil, cancels the run.
+	Context context.Context
+	// RunTimeout bounds the whole run; RecvTimeout bounds any single
+	// blocking receive or barrier wait. Either converts a hung or dead
+	// rank into a returned error naming the blocked rank and peer.
+	RunTimeout  time.Duration
+	RecvTimeout time.Duration
+	// Faults, when non-nil, injects the plan's faults into the run.
+	// Set RecvTimeout (or RunTimeout) alongside plans that drop or
+	// kill, so induced hangs abort with a diagnostic instead of
+	// blocking forever.
+	Faults *FaultPlan
+	// DialAttempts/DialBackoff tune the TCP engine's connection-setup
+	// retry (ignored by the live engine); zero means the defaults.
+	DialAttempts int
+	DialBackoff  time.Duration
+}
+
+// realRun prepares the engine-independent part of a real-byte run: the
+// resolved spec and algorithm, the optional fault injector, the shared
+// bundle collector, and the per-rank body.
+func realRun(m *Machine, cfg Config, payload func(rank int) []byte, opts RunOptions) (func(c comm.Comm), []map[int][]byte, *faults.Injector, error) {
+	spec, err := cfg.spec(m)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	alg, err := resolveAlgorithm(m, cfg, spec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var inj *faults.Injector
+	if opts.Faults != nil {
+		inj = faults.New(*opts.Faults)
+	}
+	bundles := make([]map[int][]byte, m.P())
+	body := func(c comm.Comm) {
+		rank := c.Rank()
+		if inj != nil {
+			c = inj.Wrap(c)
+		}
+		var mine comm.Message
+		if spec.IsSource(rank) {
+			mine = comm.Message{Parts: []comm.Part{{Origin: rank, Data: payload(rank)}}}
+		}
+		out := alg.Run(c, spec, mine)
+		got := make(map[int][]byte, len(out.Parts))
+		for _, part := range out.Parts {
+			got[part.Origin] = part.Data
+		}
+		bundles[rank] = got
+	}
+	return body, bundles, inj, nil
+}
+
+// liveResult assembles the public result from an engine run.
+func liveResult(elapsed time.Duration, bundles []map[int][]byte, inj *faults.Injector) *LiveResult {
+	res := &LiveResult{Elapsed: elapsed, Bundles: bundles}
+	if inj != nil {
+		res.Faults = inj.Events()
+	}
+	return res
 }
 
 // RunLive executes the broadcast on the live goroutine engine with real
@@ -346,31 +443,27 @@ type LiveResult struct {
 // called for source ranks. The machine's logical mesh defines the rank
 // space; its cost model is not used (live runs measure wall-clock only).
 func RunLive(m *Machine, cfg Config, payload func(rank int) []byte) (*LiveResult, error) {
-	spec, err := cfg.spec(m)
+	return RunLiveOpts(m, cfg, payload, RunOptions{})
+}
+
+// RunLiveOpts is RunLive with deadlines, cancellation and fault
+// injection (see RunOptions). With a deadline configured, a hung, dead
+// or killed rank becomes a returned error naming the blocked rank and
+// peer — the run never hangs silently.
+func RunLiveOpts(m *Machine, cfg Config, payload func(rank int) []byte, opts RunOptions) (*LiveResult, error) {
+	body, bundles, inj, err := realRun(m, cfg, payload, opts)
 	if err != nil {
 		return nil, err
 	}
-	alg, err := resolveAlgorithm(m, cfg, spec)
+	res, err := live.RunOpts(m.P(), live.Options{
+		Context:     opts.Context,
+		RunTimeout:  opts.RunTimeout,
+		RecvTimeout: opts.RecvTimeout,
+	}, func(pr *live.Proc) { body(pr) })
 	if err != nil {
 		return nil, err
 	}
-	bundles := make([]map[int][]byte, m.P())
-	res, err := live.Run(m.P(), func(pr *live.Proc) {
-		var mine comm.Message
-		if spec.IsSource(pr.Rank()) {
-			mine = comm.Message{Parts: []comm.Part{{Origin: pr.Rank(), Data: payload(pr.Rank())}}}
-		}
-		out := alg.Run(pr, spec, mine)
-		got := make(map[int][]byte, len(out.Parts))
-		for _, part := range out.Parts {
-			got[part.Origin] = part.Data
-		}
-		bundles[pr.Rank()] = got
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &LiveResult{Elapsed: res.Elapsed, Bundles: bundles}, nil
+	return liveResult(res.Elapsed, bundles, inj), nil
 }
 
 // RunTCP executes the broadcast over real loopback TCP sockets — one
@@ -379,31 +472,30 @@ func RunLive(m *Machine, cfg Config, payload func(rank int) []byte) (*LiveResult
 // distributed-transport engine; use it to exercise the algorithms over a
 // transport with real serialization.
 func RunTCP(m *Machine, cfg Config, payload func(rank int) []byte) (*LiveResult, error) {
-	spec, err := cfg.spec(m)
+	return RunTCPOpts(m, cfg, payload, RunOptions{})
+}
+
+// RunTCPOpts is RunTCP with deadlines, cancellation, dial retry and
+// fault injection (see RunOptions). Transient connection-setup failures
+// are absorbed by retry with exponential backoff; with a deadline
+// configured, a hung, dead or killed rank becomes a returned error
+// naming the blocked rank and peer.
+func RunTCPOpts(m *Machine, cfg Config, payload func(rank int) []byte, opts RunOptions) (*LiveResult, error) {
+	body, bundles, inj, err := realRun(m, cfg, payload, opts)
 	if err != nil {
 		return nil, err
 	}
-	alg, err := resolveAlgorithm(m, cfg, spec)
+	res, err := tcp.RunOpts(m.P(), tcp.Options{
+		Context:      opts.Context,
+		RunTimeout:   opts.RunTimeout,
+		RecvTimeout:  opts.RecvTimeout,
+		DialAttempts: opts.DialAttempts,
+		DialBackoff:  opts.DialBackoff,
+	}, func(pr *tcp.Proc) { body(pr) })
 	if err != nil {
 		return nil, err
 	}
-	bundles := make([]map[int][]byte, m.P())
-	res, err := tcp.Run(m.P(), func(pr *tcp.Proc) {
-		var mine comm.Message
-		if spec.IsSource(pr.Rank()) {
-			mine = comm.Message{Parts: []comm.Part{{Origin: pr.Rank(), Data: payload(pr.Rank())}}}
-		}
-		out := alg.Run(pr, spec, mine)
-		got := make(map[int][]byte, len(out.Parts))
-		for _, part := range out.Parts {
-			got[part.Origin] = part.Data
-		}
-		bundles[pr.Rank()] = got
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &LiveResult{Elapsed: res.Elapsed, Bundles: bundles}, nil
+	return liveResult(res.Elapsed, bundles, inj), nil
 }
 
 // Experiment regenerates one table or figure of the paper (see

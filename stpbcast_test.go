@@ -3,7 +3,9 @@ package stpbcast_test
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"testing"
+	"time"
 
 	stpbcast "repro"
 	"repro/internal/core"
@@ -350,5 +352,88 @@ func TestSimulateWithCustomAlgorithm(t *testing.T) {
 		Distribution: "Sq", Sources: 9, MsgBytes: 256,
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunOptsGracefulFaultsKeepBundlesIntact drives the public chaos
+// API on both real-byte engines: a duplicate+delay plan must degrade
+// gracefully — delivered bundles identical to a fault-free run — with
+// the injected events reported on the result.
+func TestRunOptsGracefulFaultsKeepBundlesIntact(t *testing.T) {
+	m := stpbcast.NewParagon(3, 4)
+	cfg := stpbcast.Config{Algorithm: "Br_xy_source", Distribution: "Cr", Sources: 5, MsgBytes: 0}
+	payload := func(rank int) []byte { return []byte(fmt.Sprintf("chaos-%02d", rank)) }
+	opts := stpbcast.RunOptions{
+		RecvTimeout: 30 * time.Second,
+		Faults:      &stpbcast.FaultPlan{Seed: 9, Duplicate: 0.25, DelayProb: 0.25, MaxDelay: time.Millisecond},
+	}
+	for name, run := range map[string]func() (*stpbcast.LiveResult, error){
+		"live": func() (*stpbcast.LiveResult, error) { return stpbcast.RunLiveOpts(m, cfg, payload, opts) },
+		"tcp":  func() (*stpbcast.LiveResult, error) { return stpbcast.RunTCPOpts(m, cfg, payload, opts) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: graceful plan aborted: %v", name, err)
+		}
+		if len(res.Faults) == 0 {
+			t.Fatalf("%s: no faults injected; plan was inert", name)
+		}
+		for rank, got := range res.Bundles {
+			if len(got) != 5 {
+				t.Fatalf("%s: rank %d holds %d messages, want 5", name, rank, len(got))
+			}
+			for origin, data := range got {
+				if want := fmt.Sprintf("chaos-%02d", origin); string(data) != want {
+					t.Fatalf("%s: rank %d origin %d payload %q", name, rank, origin, data)
+				}
+			}
+		}
+	}
+}
+
+// TestRunOptsKillReportsRootCause: a killed rank must surface through
+// the public API as an error naming the rank, on both engines.
+func TestRunOptsKillReportsRootCause(t *testing.T) {
+	m := stpbcast.NewParagon(3, 4)
+	cfg := stpbcast.Config{Algorithm: "Br_xy_source", Distribution: "Cr", Sources: 5, MsgBytes: 0}
+	payload := func(rank int) []byte { return []byte("x") }
+	opts := stpbcast.RunOptions{
+		RecvTimeout: 2 * time.Second,
+		Faults:      &stpbcast.FaultPlan{Kills: []stpbcast.FaultKill{{Rank: 3, Op: 1}}},
+	}
+	for name, run := range map[string]func() (*stpbcast.LiveResult, error){
+		"live": func() (*stpbcast.LiveResult, error) { return stpbcast.RunLiveOpts(m, cfg, payload, opts) },
+		"tcp":  func() (*stpbcast.LiveResult, error) { return stpbcast.RunTCPOpts(m, cfg, payload, opts) },
+	} {
+		_, err := run()
+		if err == nil {
+			t.Fatalf("%s: killed rank did not fail the run", name)
+		}
+		if !strings.Contains(err.Error(), "rank 3 killed") {
+			t.Fatalf("%s: kill diagnostic lost: %v", name, err)
+		}
+	}
+}
+
+// TestRunOptsRecvDeadlineConvertsHang: total message loss plus a recv
+// deadline must return a diagnostic instead of hanging, via the facade.
+func TestRunOptsRecvDeadlineConvertsHang(t *testing.T) {
+	m := stpbcast.NewParagon(2, 2)
+	cfg := stpbcast.Config{Algorithm: "Br_Lin", Distribution: "E", Sources: 2, MsgBytes: 0}
+	payload := func(rank int) []byte { return []byte("y") }
+	opts := stpbcast.RunOptions{
+		RecvTimeout: 200 * time.Millisecond,
+		Faults:      &stpbcast.FaultPlan{Seed: 1, Drop: 1.0},
+	}
+	start := time.Now()
+	_, err := stpbcast.RunLiveOpts(m, cfg, payload, opts)
+	if err == nil {
+		t.Fatal("total message loss did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("deadline diagnostic lost: %v", err)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("abort took %v", d)
 	}
 }
