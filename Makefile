@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test race chaos fuzz-seeds bench ci
+.PHONY: all fmt vet build test race chaos fuzz-seeds bench bench-baseline bench-all ci
 
 all: ci
 
@@ -35,7 +35,21 @@ chaos:
 fuzz-seeds:
 	$(GO) test -run=Fuzz ./internal/...
 
+# Figure-regeneration benchmarks, best-of-3, parsed into BENCH_sim.json
+# (ns/op + allocs/op per figure) and gated at 2x ns/op against the
+# committed baseline. Refresh the baseline with `make bench-baseline`
+# after an intentional perf change.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench 'Fig' -benchmem -count 3 -run '^$$' -timeout 30m . \
+		| $(GO) run ./cmd/stpperf -out BENCH_sim.json
+	$(GO) run ./cmd/stpperf -check -baseline BENCH_baseline.json -current BENCH_sim.json -max-ratio 2
+
+bench-baseline:
+	$(GO) test -bench 'Fig' -benchmem -count 3 -run '^$$' -timeout 30m . \
+		| $(GO) run ./cmd/stpperf -out BENCH_baseline.json
+
+# Microbenchmarks across all packages (no JSON, no gate).
+bench-all:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 ci: fmt vet build race fuzz-seeds

@@ -31,7 +31,10 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the fault-injection sweep on the real-byte engines")
 	seed := flag.Int64("seed", 1, "chaos schedule seed (same seed = same fault schedule)")
 	engine := flag.String("engine", "both", "chaos engine: live, tcp or both")
+	parallel := flag.Int("parallel", 0, "max concurrent experiment cells (0 = GOMAXPROCS, 1 = serial); output is identical at every setting")
 	flag.Parse()
+
+	stpbcast.SetParallelism(*parallel)
 
 	switch {
 	case *chaos:

@@ -1,0 +1,167 @@
+// Command stpperf turns `go test -bench` output into a JSON performance
+// snapshot and gates regressions against a committed baseline.
+//
+// Usage:
+//
+//	go test -bench 'Fig' -benchmem -count 3 -run '^$' . | stpperf -out BENCH_sim.json
+//	stpperf -check -baseline BENCH_baseline.json -current BENCH_sim.json -max-ratio 2
+//
+// Parsing keeps the best (minimum) ns/op and allocs/op over the -count
+// repetitions, which filters scheduler noise on shared CI runners. The
+// check fails when any benchmark present in the baseline is missing from
+// the current snapshot or exceeds max-ratio times its baseline ns/op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Entry is one benchmark's snapshot. Samples counts the -count
+// repetitions folded into it.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Samples     int     `json:"samples"`
+}
+
+// benchLine matches one result line of `go test -bench -benchmem`, e.g.
+//
+//	BenchmarkFig3SourcesSweep-8   2  623456789 ns/op  1234567 B/op  8910 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped so snapshots compare across
+// hosts, and custom metrics (b.ReportMetric) may sit between ns/op and
+// the -benchmem pair.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?([\d.]+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_sim.json", "snapshot file to write when parsing")
+	check := flag.Bool("check", false, "compare -current against -baseline instead of parsing stdin")
+	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline snapshot")
+	current := flag.String("current", "BENCH_sim.json", "freshly produced snapshot")
+	maxRatio := flag.Float64("max-ratio", 2.0, "fail when current ns/op exceeds this multiple of the baseline")
+	flag.Parse()
+
+	if *check {
+		if err := runCheck(*baseline, *current, *maxRatio); err != nil {
+			fmt.Fprintln(os.Stderr, "stpperf:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runParse(os.Stdin, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "stpperf:", err)
+		os.Exit(1)
+	}
+}
+
+func runParse(r *os.File, out string) error {
+	entries := map[string]Entry{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the build log
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{NsPerOp: ns, Samples: 1}
+		if m[3] != "" {
+			b, _ := strconv.ParseFloat(m[3], 64)
+			e.BytesPerOp = int64(b)
+			e.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if prev, ok := entries[m[1]]; ok {
+			// Best-of-count: keep the fastest repetition of each metric.
+			e.Samples = prev.Samples + 1
+			if prev.NsPerOp < e.NsPerOp {
+				e.NsPerOp = prev.NsPerOp
+			}
+			if prev.BytesPerOp < e.BytesPerOp {
+				e.BytesPerOp = prev.BytesPerOp
+			}
+			if prev.AllocsPerOp < e.AllocsPerOp {
+				e.AllocsPerOp = prev.AllocsPerOp
+			}
+		}
+		entries[m[1]] = e
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "stpperf: wrote %d benchmarks to %s\n", len(entries), out)
+	return nil
+}
+
+func load(path string) (map[string]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]Entry
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func runCheck(basePath, curPath string, maxRatio float64) error {
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failures := 0
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "FAIL %s: present in baseline, missing from current run\n", name)
+			failures++
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		status := "ok  "
+		if ratio > maxRatio {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s %-40s %12.0f -> %12.0f ns/op  (%.2fx)  allocs %d -> %d\n",
+			status, name, b.NsPerOp, c.NsPerOp, ratio, b.AllocsPerOp, c.AllocsPerOp)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.1fx ns/op vs %s", failures, maxRatio, basePath)
+	}
+	fmt.Printf("all %d benchmarks within %.1fx of %s\n", len(names), maxRatio, basePath)
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	stpbcast "repro"
+	"repro/internal/par"
 )
 
 func main() {
@@ -31,7 +32,10 @@ func main() {
 	distsFlag := flag.String("dists", "E", "comma-separated distribution names")
 	sFlag := flag.String("s", "16", "comma-separated source counts")
 	bytesFlag := flag.String("bytes", "4096", "comma-separated message lengths")
+	parallel := flag.Int("parallel", 0, "max concurrent sweep cells (0 = GOMAXPROCS, 1 = serial); row order is identical at every setting")
 	flag.Parse()
+
+	stpbcast.SetParallelism(*parallel)
 
 	var m *stpbcast.Machine
 	switch *machineName {
@@ -60,25 +64,43 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Println("machine,algorithm,distribution,sources,msg_bytes,time_ms,congestion,wait,send_rec,av_msg_lgth,av_act_proc")
+	// Cells fan out across the bounded worker pool; rows are buffered by
+	// index so the CSV comes out in the same order as a serial sweep.
+	type cell struct {
+		alg, d string
+		s, l   int
+	}
+	var cells []cell
 	for _, alg := range algs {
 		for _, d := range dists {
 			for _, s := range ss {
 				for _, l := range ls {
-					res, err := stpbcast.Simulate(m, stpbcast.Config{
-						Algorithm: alg, Distribution: d, Sources: s, MsgBytes: l,
-					})
-					if err != nil {
-						fatal(err)
-					}
-					pm := res.Params
-					fmt.Printf("%s,%s,%s,%d,%d,%.4f,%d,%d,%d,%.0f,%.1f\n",
-						m.Name, alg, d, s, l,
-						float64(res.Elapsed.Nanoseconds())/1e6,
-						pm.Congestion, pm.Wait, pm.SendRec, pm.AvgMsgLen, pm.AvgActive)
+					cells = append(cells, cell{alg, d, s, l})
 				}
 			}
 		}
+	}
+	out := make([]string, len(cells))
+	if err := par.ForEach(len(cells), func(i int) error {
+		c := cells[i]
+		res, err := stpbcast.Simulate(m, stpbcast.Config{
+			Algorithm: c.alg, Distribution: c.d, Sources: c.s, MsgBytes: c.l,
+		})
+		if err != nil {
+			return err
+		}
+		pm := res.Params
+		out[i] = fmt.Sprintf("%s,%s,%s,%d,%d,%.4f,%d,%d,%d,%.0f,%.1f",
+			m.Name, c.alg, c.d, c.s, c.l,
+			float64(res.Elapsed.Nanoseconds())/1e6,
+			pm.Congestion, pm.Wait, pm.SendRec, pm.AvgMsgLen, pm.AvgActive)
+		return nil
+	}); err != nil {
+		fatal(err)
+	}
+	fmt.Println("machine,algorithm,distribution,sources,msg_bytes,time_ms,congestion,wait,send_rec,av_msg_lgth,av_act_proc")
+	for _, row := range out {
+		fmt.Println(row)
 	}
 }
 

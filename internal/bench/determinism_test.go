@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/par"
+)
+
+// TestEveryAlgorithmDeterministic runs each registered algorithm twice on
+// p=64 and requires bit-identical results — elapsed time, per-processor
+// stats, iteration breakdowns and network counters. The O(log p)
+// scheduler must stay conservative: identical inputs, identical
+// simulated execution.
+func TestEveryAlgorithmDeterministic(t *testing.T) {
+	m := machine.Paragon(8, 8)
+	spec, err := SpecFor(m, dist.Equal(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range core.Registry() {
+		alg := alg
+		t.Run(alg.Name(), func(t *testing.T) {
+			first, err := Measure(m, alg, spec, 2048)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := Measure(m, alg, spec, 2048)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first, second) {
+				t.Errorf("two runs of %s differ:\n first: %+v\nsecond: %+v", alg.Name(), first, second)
+			}
+		})
+	}
+}
+
+// TestSchedulerMatchesSeedTimings pins the simulated clocks the seed's
+// O(p) ready-scan scheduler produced on a spread of machines, algorithms
+// and distributions. The heap scheduler orders runnable processors by
+// (clock, rank) — exactly the scan's tie-break — so every timing must
+// reproduce to the nanosecond. A drift here means the rewrite changed
+// simulated semantics, not just speed.
+func TestSchedulerMatchesSeedTimings(t *testing.T) {
+	fixtures := []struct {
+		m          *machine.Machine
+		alg, dist  string
+		s, msgLen  int
+		elapsed    int64 // Result.Elapsed in ns
+		sumFinish  int64 // sum over procs of Finish
+		sumWaiting int64 // sum over procs of WaitTime
+	}{
+		{machine.Paragon(8, 8), "Br_Lin", "E", 16, 2048, 2793494, 165112368, 70780080},
+		{machine.Paragon(10, 10), "Br_xy_source", "Cr", 30, 4096, 9575679, 794242490, 346348650},
+		{machine.Paragon(16, 16), "PersAlltoAll", "Dr", 64, 1024, 12103603, 3071733438, 1894555838},
+		{machine.T3D(128), "RD_AllGather", "E", 32, 4096, 6630102, 691213132, 179265100},
+		{machine.T3D(64), "2-Step", "Sq", 16, 8192, 11553829, 564874824, 498466744},
+		{machine.Paragon(16, 16), "Repos_xy_source", "Sq", 75, 6144, 21648828, 5270015707, 1086882379},
+	}
+	dists := map[string]dist.Distribution{
+		"E":  dist.Equal(),
+		"Cr": dist.Cross(),
+		"Dr": dist.DiagRight(),
+		"Sq": dist.Square(),
+	}
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx.m.Name+"/"+fx.alg+"/"+fx.dist, func(t *testing.T) {
+			alg, err := core.ByName(fx.alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := SpecFor(fx.m, dists[fx.dist], fx.s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Measure(fx.m, alg, spec, fx.msgLen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sumFinish, sumWait int64
+			for _, pr := range res.Procs {
+				sumFinish += int64(pr.Finish)
+				sumWait += int64(pr.WaitTime)
+			}
+			if int64(res.Elapsed) != fx.elapsed {
+				t.Errorf("Elapsed = %d ns, seed scheduler produced %d", int64(res.Elapsed), fx.elapsed)
+			}
+			if sumFinish != fx.sumFinish {
+				t.Errorf("sum(Finish) = %d, seed scheduler produced %d", sumFinish, fx.sumFinish)
+			}
+			if sumWait != fx.sumWaiting {
+				t.Errorf("sum(WaitTime) = %d, seed scheduler produced %d", sumWait, fx.sumWaiting)
+			}
+		})
+	}
+}
+
+// TestSerialAndParallelHarnessIdentical runs the same experiment grid
+// with the worker pool pinned to 1 and to 4 and requires byte-identical
+// formatted output — the parallel harness's core guarantee.
+func TestSerialAndParallelHarnessIdentical(t *testing.T) {
+	render := func(limit int) string {
+		prev := par.SetLimit(limit)
+		defer par.SetLimit(prev)
+		e, err := ByID("ablation-indexing")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Format()
+	}
+	serial := render(1)
+	parallel4 := render(4)
+	if serial != parallel4 {
+		t.Errorf("parallel output differs from serial:\nserial:\n%s\nparallel:\n%s", serial, parallel4)
+	}
+}

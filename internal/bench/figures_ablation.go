@@ -63,46 +63,38 @@ func runAblationPart() (*Series, error) {
 		order[i] = a.label
 	}
 	s := NewSeries("Ablation — partitioning vs repositioning (16×16, L=6K, Sq(s))", "sources", "ms", order...)
-	for _, sv := range []int{16, 32, 64, 96, 128} {
-		vals := make([]float64, len(algs))
-		for j, a := range algs {
-			m := machine.Paragon(16, 16)
-			spec, err := SpecFor(m, dist.Square(), sv)
-			if err != nil {
-				return nil, err
-			}
-			v, err := MustMillis(m, a.alg, spec, 6*1024)
-			if err != nil {
-				return nil, err
-			}
-			vals[j] = v
-		}
-		s.AddX(fmt.Sprintf("%d", sv), vals...)
+	svals := []int{16, 32, 64, 96, 128}
+	xs := make([]string, len(svals))
+	for i, sv := range svals {
+		xs[i] = fmt.Sprintf("%d", sv)
 	}
-	return s, nil
+	return fillSeries(s, xs, len(algs), func(i, j int) (float64, error) {
+		m := machine.Paragon(16, 16)
+		spec, err := SpecFor(m, dist.Square(), svals[i])
+		if err != nil {
+			return 0, err
+		}
+		return MustMillis(m, algs[j].alg, spec, 6*1024)
+	})
 }
 
 func runAblationIndexing() (*Series, error) {
 	s := NewSeries("Ablation — Br_Lin indexing (10×10, L=2K, s=30)", "distribution", "ms", "snake", "row-major")
-	for _, d := range dist.All() {
-		m := machine.Paragon(10, 10)
-		sources, err := d.Sources(10, 10, 30)
-		if err != nil {
-			return nil, err
-		}
-		snake := core.Spec{Rows: 10, Cols: 10, Sources: sources, Indexing: topology.SnakeRowMajor}
-		rowMajor := core.Spec{Rows: 10, Cols: 10, Sources: sources, Indexing: topology.RowMajor}
-		a, err := MustMillis(m, core.BrLin(), snake, 2048)
-		if err != nil {
-			return nil, err
-		}
-		b, err := MustMillis(m, core.BrLin(), rowMajor, 2048)
-		if err != nil {
-			return nil, err
-		}
-		s.AddX(d.Name(), a, b)
+	dists := dist.All()
+	xs := make([]string, len(dists))
+	for i, d := range dists {
+		xs[i] = d.Name()
 	}
-	return s, nil
+	indexings := []topology.Indexing{topology.SnakeRowMajor, topology.RowMajor}
+	return fillSeries(s, xs, len(indexings), func(i, j int) (float64, error) {
+		m := machine.Paragon(10, 10)
+		sources, err := dists[i].Sources(10, 10, 30)
+		if err != nil {
+			return 0, err
+		}
+		spec := core.Spec{Rows: 10, Cols: 10, Sources: sources, Indexing: indexings[j]}
+		return MustMillis(m, core.BrLin(), spec, 2048)
+	})
 }
 
 func runAblationSwitching() (*Series, error) {
@@ -119,48 +111,42 @@ func runAblationSwitching() (*Series, error) {
 		order = append(order, a.label+"/wh", a.label+"/sf")
 	}
 	s := NewSeries("Ablation — switching model (10×10, E(s), L=4K)", "sources", "ms", order...)
-	for _, sv := range []int{10, 30, 60, 100} {
-		vals := make([]float64, 0, len(order))
-		for _, a := range algs {
-			for _, sw := range []network.Model{network.Wormhole, network.StoreAndForward} {
-				m := machine.Paragon(10, 10)
-				m.Cfg.Switching = sw
-				spec, err := SpecFor(m, dist.Equal(), sv)
-				if err != nil {
-					return nil, err
-				}
-				v, err := MustMillis(m, a.alg, spec, 4096)
-				if err != nil {
-					return nil, err
-				}
-				vals = append(vals, v)
-			}
-		}
-		s.AddX(fmt.Sprintf("%d", sv), vals...)
+	svals := []int{10, 30, 60, 100}
+	xs := make([]string, len(svals))
+	for i, sv := range svals {
+		xs[i] = fmt.Sprintf("%d", sv)
 	}
-	return s, nil
+	models := []network.Model{network.Wormhole, network.StoreAndForward}
+	return fillSeries(s, xs, len(order), func(i, j int) (float64, error) {
+		// Each cell builds its own machine: Cfg.Switching is mutated.
+		m := machine.Paragon(10, 10)
+		m.Cfg.Switching = models[j%len(models)]
+		spec, err := SpecFor(m, dist.Equal(), svals[i])
+		if err != nil {
+			return 0, err
+		}
+		return MustMillis(m, algs[j/len(models)].alg, spec, 4096)
+	})
 }
 
 func runAblationPlacement() (*Series, error) {
 	s := NewSeries("Ablation — T3D placement (p=128, L=4K, E(s), Br_Lin)", "sources", "ms", "dimension-ordered", "random")
-	for _, sv := range []int{10, 40, 96, 128} {
-		ordered := machine.T3D(128)
-		random := machine.T3DRandom(128, 1)
-		var vals []float64
-		for _, m := range []*machine.Machine{ordered, random} {
-			spec, err := SpecFor(m, dist.Equal(), sv)
-			if err != nil {
-				return nil, err
-			}
-			v, err := MustMillis(m, core.BrLin(), spec, 4096)
-			if err != nil {
-				return nil, err
-			}
-			vals = append(vals, v)
-		}
-		s.AddX(fmt.Sprintf("%d", sv), vals...)
+	svals := []int{10, 40, 96, 128}
+	xs := make([]string, len(svals))
+	for i, sv := range svals {
+		xs[i] = fmt.Sprintf("%d", sv)
 	}
-	return s, nil
+	return fillSeries(s, xs, 2, func(i, j int) (float64, error) {
+		m := machine.T3D(128)
+		if j == 1 {
+			m = machine.T3DRandom(128, 1)
+		}
+		spec, err := SpecFor(m, dist.Equal(), svals[i])
+		if err != nil {
+			return 0, err
+		}
+		return MustMillis(m, core.BrLin(), spec, 4096)
+	})
 }
 
 // reposTo runs Br_Lin after repositioning the sources to the target
@@ -181,25 +167,24 @@ func reposTo(m *machine.Machine, from, to dist.Distribution, s, msgLen int) (flo
 
 func runAblationIdeal() (*Series, error) {
 	s := NewSeries("Ablation — Repos_Lin target (16×16, L=6K, Sq(s))", "sources", "ms", "Dl target", "IdealSnake target", "no repositioning")
-	for _, sv := range []int{16, 48, 96, 160} {
-		m := machine.Paragon(16, 16)
-		dl, err := reposTo(m, dist.Square(), dist.DiagLeft(), sv, 6*1024)
-		if err != nil {
-			return nil, err
-		}
-		exact, err := reposTo(m, dist.Square(), dist.IdealSnake(), sv, 6*1024)
-		if err != nil {
-			return nil, err
-		}
-		spec, err := SpecFor(m, dist.Square(), sv)
-		if err != nil {
-			return nil, err
-		}
-		plain, err := MustMillis(m, core.BrLin(), spec, 6*1024)
-		if err != nil {
-			return nil, err
-		}
-		s.AddX(fmt.Sprintf("%d", sv), dl, exact, plain)
+	svals := []int{16, 48, 96, 160}
+	xs := make([]string, len(svals))
+	for i, sv := range svals {
+		xs[i] = fmt.Sprintf("%d", sv)
 	}
-	return s, nil
+	return fillSeries(s, xs, 3, func(i, j int) (float64, error) {
+		m := machine.Paragon(16, 16)
+		switch j {
+		case 0:
+			return reposTo(m, dist.Square(), dist.DiagLeft(), svals[i], 6*1024)
+		case 1:
+			return reposTo(m, dist.Square(), dist.IdealSnake(), svals[i], 6*1024)
+		default:
+			spec, err := SpecFor(m, dist.Square(), svals[i])
+			if err != nil {
+				return 0, err
+			}
+			return MustMillis(m, core.BrLin(), spec, 6*1024)
+		}
+	})
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/machine"
+	"repro/internal/par"
 	"repro/internal/plan"
 )
 
@@ -32,43 +33,66 @@ func runFigAuto() (*Series, error) {
 		{"P", machine.Paragon(10, 10)},
 		{"T", machine.T3D(256)},
 	}
-	planner := plan.New(plan.Options{Cache: plan.NewMemCache(0)})
 	repos := core.ReposXYSource()
 	s := NewSeries("Auto planner vs fixed policies (P=Paragon 10×10, T=T3D 256)",
 		"machine/dist/s/L", "ms", "Auto", "best-fixed", "Repos_xy_source")
+	type cell struct {
+		g struct {
+			tag string
+			m   *machine.Machine
+		}
+		d  dist.Distribution
+		sv int
+		l  int
+	}
+	var cellsIn []cell
 	for _, g := range grid {
 		for _, d := range dist.All() {
 			for _, sv := range []int{10, 64} {
 				for _, l := range []int{1024, 16384} {
-					spec, err := SpecFor(g.m, d, sv)
-					if err != nil {
-						return nil, err
-					}
-					dec, err := planner.Decide(context.Background(), g.m, plan.Request{
-						Spec: spec, MsgLen: l, DistName: d.Name(),
-					})
-					if err != nil {
-						return nil, err
-					}
-					best := math.Inf(1)
-					for _, a := range core.Registry() {
-						v, err := MustMillis(g.m, a, spec, l)
-						if err != nil {
-							return nil, err
-						}
-						if v < best {
-							best = v
-						}
-					}
-					rv, err := MustMillis(g.m, repos, spec, l)
-					if err != nil {
-						return nil, err
-					}
-					s.AddX(fmt.Sprintf("%s/%s/%d/%dK", g.tag, d.Name(), sv, l/1024),
-						dec.ElapsedMs, best, rv)
+					cellsIn = append(cellsIn, cell{g: g, d: d, sv: sv, l: l})
 				}
 			}
 		}
+	}
+	rows := make([][3]float64, len(cellsIn))
+	if err := par.ForEach(len(cellsIn), func(k int) error {
+		c := cellsIn[k]
+		spec, err := SpecFor(c.g.m, c.d, c.sv)
+		if err != nil {
+			return err
+		}
+		// One planner (and cache) per cell: the shared MemCache is not
+		// built for concurrent writers, and cells never share plan keys.
+		planner := plan.New(plan.Options{Cache: plan.NewMemCache(0)})
+		dec, err := planner.Decide(context.Background(), c.g.m, plan.Request{
+			Spec: spec, MsgLen: c.l, DistName: c.d.Name(),
+		})
+		if err != nil {
+			return err
+		}
+		best := math.Inf(1)
+		for _, a := range core.Registry() {
+			v, err := MustMillis(c.g.m, a, spec, c.l)
+			if err != nil {
+				return err
+			}
+			if v < best {
+				best = v
+			}
+		}
+		rv, err := MustMillis(c.g.m, repos, spec, c.l)
+		if err != nil {
+			return err
+		}
+		rows[k] = [3]float64{dec.ElapsedMs, best, rv}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for k, c := range cellsIn {
+		s.AddX(fmt.Sprintf("%s/%s/%d/%dK", c.g.tag, c.d.Name(), c.sv, c.l/1024),
+			rows[k][0], rows[k][1], rows[k][2])
 	}
 	return s, nil
 }

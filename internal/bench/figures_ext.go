@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/machine"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -68,42 +69,47 @@ func runAblationIndep() (*Series, error) {
 		order[i] = a.label
 	}
 	s := NewSeries("Ablation — uncoordinated broadcasts (10×10, E(s), L=2K)", "sources", "ms", order...)
-	for _, sv := range []int{5, 15, 30, 60, 100} {
-		vals := make([]float64, len(algs))
-		for j, a := range algs {
-			m := machine.Paragon(10, 10)
-			spec, err := SpecFor(m, dist.Equal(), sv)
-			if err != nil {
-				return nil, err
-			}
-			v, err := MustMillis(m, a.alg, spec, 2048)
-			if err != nil {
-				return nil, err
-			}
-			vals[j] = v
-		}
-		s.AddX(fmt.Sprintf("%d", sv), vals...)
+	svals := []int{5, 15, 30, 60, 100}
+	xs := make([]string, len(svals))
+	for i, sv := range svals {
+		xs[i] = fmt.Sprintf("%d", sv)
 	}
-	return s, nil
+	return fillSeries(s, xs, len(algs), func(i, j int) (float64, error) {
+		m := machine.Paragon(10, 10)
+		spec, err := SpecFor(m, dist.Equal(), svals[i])
+		if err != nil {
+			return 0, err
+		}
+		return MustMillis(m, algs[j].alg, spec, 2048)
+	})
 }
 
 func runAblationDiscovery() (*Series, error) {
 	s := NewSeries("Ablation — source discovery overhead (16×16, Cr(s), L=4K)", "sources", "ms",
 		"Br_xy_source", "Discover+Br_xy_source", "overhead %")
-	for _, sv := range []int{8, 32, 96, 192} {
+	svals := []int{8, 32, 96, 192}
+	rows := make([][2]float64, len(svals))
+	if err := par.ForEach(len(svals), func(i int) error {
 		m := machine.Paragon(16, 16)
-		spec, err := SpecFor(m, dist.Cross(), sv)
+		spec, err := SpecFor(m, dist.Cross(), svals[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		plain, err := MustMillis(m, core.BrXYSource(), spec, 4096)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		disc, err := MustMillis(m, core.WithDiscovery(core.BrXYSource()), spec, 4096)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		rows[i] = [2]float64{plain, disc}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, sv := range svals {
+		plain, disc := rows[i][0], rows[i][1]
 		s.AddX(fmt.Sprintf("%d", sv), plain, disc, (disc-plain)/plain*100)
 	}
 	return s, nil
@@ -166,18 +172,17 @@ func runAblationVarlen() (*Series, error) {
 		order[i] = a.label
 	}
 	series := NewSeries("Ablation — per-source message lengths (10×10, Dr(20), total 80K)", "length shape", "ms", order...)
-	for _, sh := range shapes {
-		vals := make([]float64, len(algs))
-		for j, a := range algs {
-			res, err := MeasureVar(m, a.alg, spec, sh.lengths())
-			if err != nil {
-				return nil, err
-			}
-			vals[j] = res.Elapsed.Milliseconds()
-		}
-		series.AddX(sh.label, vals...)
+	xs := make([]string, len(shapes))
+	for i, sh := range shapes {
+		xs[i] = sh.label
 	}
-	return series, nil
+	return fillSeries(series, xs, len(algs), func(i, j int) (float64, error) {
+		res, err := MeasureVar(m, algs[j].alg, spec, shapes[i].lengths())
+		if err != nil {
+			return 0, err
+		}
+		return res.Elapsed.Milliseconds(), nil
+	})
 }
 
 func runAblationHypercube() (*Series, error) {
@@ -202,24 +207,19 @@ func runAblationHypercube() (*Series, error) {
 		}
 	}
 	s := NewSeries("Ablation — mesh vs hypercube at p=64 (E(s), L=4K)", "sources", "ms", order...)
-	for _, sv := range []int{8, 16, 32, 64} {
-		vals := make([]float64, 0, len(order))
-		for _, a := range algs {
-			for _, mm := range machines {
-				spec, err := SpecFor(mm.m, dist.Equal(), sv)
-				if err != nil {
-					return nil, err
-				}
-				v, err := MustMillis(mm.m, a.alg, spec, 4096)
-				if err != nil {
-					return nil, err
-				}
-				vals = append(vals, v)
-			}
-		}
-		s.AddX(fmt.Sprintf("%d", sv), vals...)
+	svals := []int{8, 16, 32, 64}
+	xs := make([]string, len(svals))
+	for i, sv := range svals {
+		xs[i] = fmt.Sprintf("%d", sv)
 	}
-	return s, nil
+	return fillSeries(s, xs, len(order), func(i, j int) (float64, error) {
+		a, mm := algs[j/len(machines)], machines[j%len(machines)]
+		spec, err := SpecFor(mm.m, dist.Equal(), svals[i])
+		if err != nil {
+			return 0, err
+		}
+		return MustMillis(mm.m, a.alg, spec, 4096)
+	})
 }
 
 func init() {
@@ -253,23 +253,19 @@ func runAblationDims3D() (*Series, error) {
 		order[i] = a.label
 	}
 	s := NewSeries("Ablation — dimension-by-dimension broadcast on the T3D (p=128, E(s), L=4K)", "sources", "ms", order...)
-	for _, sv := range []int{10, 40, 96, 128} {
-		vals := make([]float64, len(algs))
-		for j, a := range algs {
-			m := machine.T3D(128)
-			spec, err := SpecFor(m, dist.Equal(), sv)
-			if err != nil {
-				return nil, err
-			}
-			v, err := MustMillis(m, a.alg, spec, 4096)
-			if err != nil {
-				return nil, err
-			}
-			vals[j] = v
-		}
-		s.AddX(fmt.Sprintf("%d", sv), vals...)
+	svals := []int{10, 40, 96, 128}
+	xs := make([]string, len(svals))
+	for i, sv := range svals {
+		xs[i] = fmt.Sprintf("%d", sv)
 	}
-	return s, nil
+	return fillSeries(s, xs, len(algs), func(i, j int) (float64, error) {
+		m := machine.T3D(128)
+		spec, err := SpecFor(m, dist.Equal(), svals[i])
+		if err != nil {
+			return 0, err
+		}
+		return MustMillis(m, algs[j].alg, spec, 4096)
+	})
 }
 
 func runAblationCalibration() (*Series, error) {
@@ -286,24 +282,21 @@ func runAblationCalibration() (*Series, error) {
 		order[i] = a.label
 	}
 	s := NewSeries("Ablation — calibration robustness (10×10, E(50), L=4K)", "cost scale", "ms", order...)
-	for _, scale := range []float64{0.5, 1, 2} {
-		vals := make([]float64, len(algs))
-		for j, a := range algs {
-			m := machine.Paragon(10, 10)
-			m.Cfg = m.Cfg.Scale(scale)
-			spec, err := SpecFor(m, dist.Equal(), 50)
-			if err != nil {
-				return nil, err
-			}
-			v, err := MustMillis(m, a.alg, spec, 4096)
-			if err != nil {
-				return nil, err
-			}
-			vals[j] = v
-		}
-		s.AddX(fmt.Sprintf("x%.1f", scale), vals...)
+	scales := []float64{0.5, 1, 2}
+	xs := make([]string, len(scales))
+	for i, scale := range scales {
+		xs[i] = fmt.Sprintf("x%.1f", scale)
 	}
-	return s, nil
+	return fillSeries(s, xs, len(algs), func(i, j int) (float64, error) {
+		// Each cell builds (and scales) its own machine: Cfg is mutated.
+		m := machine.Paragon(10, 10)
+		m.Cfg = m.Cfg.Scale(scales[i])
+		spec, err := SpecFor(m, dist.Equal(), 50)
+		if err != nil {
+			return 0, err
+		}
+		return MustMillis(m, algs[j].alg, spec, 4096)
+	})
 }
 
 func init() {
@@ -329,21 +322,17 @@ func runAblationAdaptive() (*Series, error) {
 		order[i] = a.label
 	}
 	s := NewSeries("Ablation — adaptive repositioning (16×16, L=6K, s=64)", "distribution", "ms", order...)
-	for _, d := range dist.All() {
-		vals := make([]float64, len(algs))
-		for j, a := range algs {
-			m := machine.Paragon(16, 16)
-			spec, err := SpecFor(m, d, 64)
-			if err != nil {
-				return nil, err
-			}
-			v, err := MustMillis(m, a.alg, spec, 6*1024)
-			if err != nil {
-				return nil, err
-			}
-			vals[j] = v
-		}
-		s.AddX(d.Name(), vals...)
+	dists := dist.All()
+	xs := make([]string, len(dists))
+	for i, d := range dists {
+		xs[i] = d.Name()
 	}
-	return s, nil
+	return fillSeries(s, xs, len(algs), func(i, j int) (float64, error) {
+		m := machine.Paragon(16, 16)
+		spec, err := SpecFor(m, dists[i], 64)
+		if err != nil {
+			return 0, err
+		}
+		return MustMillis(m, algs[j].alg, spec, 6*1024)
+	})
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/par"
 )
 
 func init() {
@@ -21,19 +22,24 @@ func init() {
 func runFig2Growth() (*Series, error) {
 	s := NewSeries("Figure 2 growth — Br_Lin active processors per iteration (16×16, E(s), L=1K)",
 		"iteration", "active processors", "E(64)", "E(60)")
-	profiles := make(map[string][]int, 2)
-	for _, sv := range []int{64, 60} {
+	svals := []int{64, 60}
+	cells := make([][]int, len(svals))
+	if err := par.ForEach(len(svals), func(k int) error {
 		m := machine.Paragon(16, 16)
-		spec, err := SpecFor(m, dist.Equal(), sv)
+		spec, err := SpecFor(m, dist.Equal(), svals[k])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := Measure(m, core.BrLin(), spec, 1024)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		profiles[fmt.Sprintf("E(%d)", sv)] = metrics.ActiveProfile(res)
+		cells[k] = metrics.ActiveProfile(res)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	profiles := map[string][]int{"E(64)": cells[0], "E(60)": cells[1]}
 	n := len(profiles["E(64)"])
 	if len(profiles["E(60)"]) > n {
 		n = len(profiles["E(60)"])

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/par"
 )
 
 // entrant is one curve of a Paragon figure: an algorithm under the NX or
@@ -44,20 +45,12 @@ func sevenAlgs() []entrant {
 	)
 }
 
-// sweep measures every entrant at every x position of a Paragon figure.
+// sweep measures every entrant at every x position of a Paragon figure,
+// fanning the cells out across the bounded worker pool.
 func sweep(s *Series, entrants []entrant, xs []string, run func(e entrant, i int) (float64, error)) (*Series, error) {
-	for i, x := range xs {
-		vals := make([]float64, len(entrants))
-		for j, e := range entrants {
-			v, err := run(e, i)
-			if err != nil {
-				return nil, err
-			}
-			vals[j] = v
-		}
-		s.AddX(x, vals...)
-	}
-	return s, nil
+	return fillSeries(s, xs, len(entrants), func(i, j int) (float64, error) {
+		return run(entrants[j], i)
+	})
 }
 
 func labels(entrants []entrant) []string {
@@ -137,20 +130,27 @@ func runFig2() (*Series, error) {
 	}
 	s := NewSeries("Figure 2 — characteristic parameters, E(s), 16×16 Paragon, L=1K", "parameter", "mixed units", order...)
 	s.Notes = "s=64 is a power of two (slow early growth for Br_Lin), s=60 is not; av_msg_lgth in bytes, av_act_proc in processors."
-	params := make(map[string]metrics.Params)
-	for _, a := range algs {
-		for _, src := range []int{64, 60} {
-			m := paragonFor(a, 16, 16)
-			spec, err := SpecFor(m, dist.Equal(), src)
-			if err != nil {
-				return nil, err
-			}
-			res, err := Measure(m, a.alg, spec, 1024)
-			if err != nil {
-				return nil, err
-			}
-			params[fmt.Sprintf("%s s=%d", a.label, src)] = metrics.FromResult(res)
+	srcs := []int{64, 60}
+	cells := make([]metrics.Params, len(order))
+	if err := par.ForEach(len(order), func(k int) error {
+		a, src := algs[k/len(srcs)], srcs[k%len(srcs)]
+		m := paragonFor(a, 16, 16)
+		spec, err := SpecFor(m, dist.Equal(), src)
+		if err != nil {
+			return err
 		}
+		res, err := Measure(m, a.alg, spec, 1024)
+		if err != nil {
+			return err
+		}
+		cells[k] = metrics.FromResult(res)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	params := make(map[string]metrics.Params, len(order))
+	for k, name := range order {
+		params[name] = cells[k]
 	}
 	rows := []struct {
 		label string
@@ -285,23 +285,18 @@ func runFig8() (*Series, error) {
 	}
 	s := NewSeries("Figure 8 — p=120 Paragon, E(s), L=4K, Br_Lin across machine dimensions", "dimensions", "ms", order...)
 	dims := [][2]int{{2, 60}, {3, 40}, {4, 30}, {5, 24}, {6, 20}, {8, 15}, {10, 12}}
-	for _, d := range dims {
-		vals := make([]float64, len(sources))
-		for j, sv := range sources {
-			m := machine.Paragon(d[0], d[1])
-			spec, err := SpecFor(m, dist.Equal(), sv)
-			if err != nil {
-				return nil, err
-			}
-			v, err := MustMillis(m, core.BrLin(), spec, 4096)
-			if err != nil {
-				return nil, err
-			}
-			vals[j] = v
-		}
-		s.AddX(fmt.Sprintf("%dx%d", d[0], d[1]), vals...)
+	xs := make([]string, len(dims))
+	for i, d := range dims {
+		xs[i] = fmt.Sprintf("%dx%d", d[0], d[1])
 	}
-	return s, nil
+	return fillSeries(s, xs, len(sources), func(i, j int) (float64, error) {
+		m := machine.Paragon(dims[i][0], dims[i][1])
+		spec, err := SpecFor(m, dist.Equal(), sources[j])
+		if err != nil {
+			return 0, err
+		}
+		return MustMillis(m, core.BrLin(), spec, 4096)
+	})
 }
 
 // reposGain measures the percentage gain of repositioning: positive when
@@ -330,18 +325,14 @@ func runFig9() (*Series, error) {
 	}
 	s := NewSeries("Figure 9 — 16×16 Paragon, L=6K: Repos_xy_source gain over Br_xy_source", "sources", "% gain", order...)
 	s.Notes = "positive = repositioning faster"
-	for _, sv := range []int{16, 32, 50, 64, 96, 128, 160, 192} {
-		vals := make([]float64, len(dists))
-		for j, d := range dists {
-			g, err := reposGain(machine.Paragon(16, 16), d, sv, 6*1024)
-			if err != nil {
-				return nil, err
-			}
-			vals[j] = g
-		}
-		s.AddX(fmt.Sprintf("%d", sv), vals...)
+	svals := []int{16, 32, 50, 64, 96, 128, 160, 192}
+	xs := make([]string, len(svals))
+	for i, sv := range svals {
+		xs[i] = fmt.Sprintf("%d", sv)
 	}
-	return s, nil
+	return fillSeries(s, xs, len(dists), func(i, j int) (float64, error) {
+		return reposGain(machine.Paragon(16, 16), dists[j], svals[i], 6*1024)
+	})
 }
 
 func runFig10() (*Series, error) {
@@ -352,16 +343,13 @@ func runFig10() (*Series, error) {
 	}
 	s := NewSeries("Figure 10 — 16×16 Paragon, s=75: Repos_xy_source gain over Br_xy_source", "msg bytes", "% gain", order...)
 	s.Notes = "positive = repositioning faster"
+	var lvals []int
+	var xs []string
 	for l := 256; l <= 16384; l *= 2 {
-		vals := make([]float64, len(dists))
-		for j, d := range dists {
-			g, err := reposGain(machine.Paragon(16, 16), d, 75, l)
-			if err != nil {
-				return nil, err
-			}
-			vals[j] = g
-		}
-		s.AddX(fmt.Sprintf("%d", l), vals...)
+		lvals = append(lvals, l)
+		xs = append(xs, fmt.Sprintf("%d", l))
 	}
-	return s, nil
+	return fillSeries(s, xs, len(dists), func(i, j int) (float64, error) {
+		return reposGain(machine.Paragon(16, 16), dists[j], 75, lvals[i])
+	})
 }

@@ -56,23 +56,19 @@ func runFig11a() (*Series, error) {
 	}
 	s := NewSeries("Figure 11a — T3D MPI_AllGather, s=32, total 128K, machine sweep", "processors", "ms", order...)
 	const total = 128 * 1024
-	for _, p := range []int{32, 64, 128, 256} {
-		vals := make([]float64, len(dists))
-		for j, d := range dists {
-			m := machine.T3D(p)
-			spec, err := SpecFor(m, d, 32)
-			if err != nil {
-				return nil, err
-			}
-			v, err := MustMillis(m, core.RDAllGather(), spec, total/32)
-			if err != nil {
-				return nil, err
-			}
-			vals[j] = v
-		}
-		s.AddX(fmt.Sprintf("%d", p), vals...)
+	pvals := []int{32, 64, 128, 256}
+	xs := make([]string, len(pvals))
+	for i, p := range pvals {
+		xs[i] = fmt.Sprintf("%d", p)
 	}
-	return s, nil
+	return fillSeries(s, xs, len(dists), func(i, j int) (float64, error) {
+		m := machine.T3D(pvals[i])
+		spec, err := SpecFor(m, dists[j], 32)
+		if err != nil {
+			return 0, err
+		}
+		return MustMillis(m, core.RDAllGather(), spec, total/32)
+	})
 }
 
 func runFig11b() (*Series, error) {
@@ -82,23 +78,19 @@ func runFig11b() (*Series, error) {
 		order[i] = d.Name()
 	}
 	s := NewSeries("Figure 11b — T3D MPI_AllGather, p=128, L=16K, source sweep", "sources", "ms", order...)
-	for _, sv := range []int{4, 8, 16, 32, 64, 128} {
-		vals := make([]float64, len(dists))
-		for j, d := range dists {
-			m := machine.T3D(128)
-			spec, err := SpecFor(m, d, sv)
-			if err != nil {
-				return nil, err
-			}
-			v, err := MustMillis(m, core.RDAllGather(), spec, 16*1024)
-			if err != nil {
-				return nil, err
-			}
-			vals[j] = v
-		}
-		s.AddX(fmt.Sprintf("%d", sv), vals...)
+	svals := []int{4, 8, 16, 32, 64, 128}
+	xs := make([]string, len(svals))
+	for i, sv := range svals {
+		xs[i] = fmt.Sprintf("%d", sv)
 	}
-	return s, nil
+	return fillSeries(s, xs, len(dists), func(i, j int) (float64, error) {
+		m := machine.T3D(128)
+		spec, err := SpecFor(m, dists[j], svals[i])
+		if err != nil {
+			return 0, err
+		}
+		return MustMillis(m, core.RDAllGather(), spec, 16*1024)
+	})
 }
 
 func runFig12() (*Series, error) {
@@ -109,23 +101,19 @@ func runFig12() (*Series, error) {
 	}
 	s := NewSeries("Figure 12 — T3D MPI_AllGather, p=128, total volume 128K, source sweep", "sources", "ms", order...)
 	const total = 128 * 1024
-	for _, sv := range []int{4, 8, 16, 32, 64, 128} {
-		vals := make([]float64, len(dists))
-		for j, d := range dists {
-			m := machine.T3D(128)
-			spec, err := SpecFor(m, d, sv)
-			if err != nil {
-				return nil, err
-			}
-			v, err := MustMillis(m, core.RDAllGather(), spec, total/sv)
-			if err != nil {
-				return nil, err
-			}
-			vals[j] = v
-		}
-		s.AddX(fmt.Sprintf("%d", sv), vals...)
+	svals := []int{4, 8, 16, 32, 64, 128}
+	xs := make([]string, len(svals))
+	for i, sv := range svals {
+		xs[i] = fmt.Sprintf("%d", sv)
 	}
-	return s, nil
+	return fillSeries(s, xs, len(dists), func(i, j int) (float64, error) {
+		m := machine.T3D(128)
+		spec, err := SpecFor(m, dists[j], svals[i])
+		if err != nil {
+			return 0, err
+		}
+		return MustMillis(m, core.RDAllGather(), spec, total/svals[i])
+	})
 }
 
 // t3dThree is the algorithm set of Figure 13. MPI_AllGather is modelled
@@ -154,23 +142,19 @@ func runFig13a() (*Series, error) {
 		order[i] = a.label
 	}
 	s := NewSeries("Figure 13a — T3D p=128, L=4K, E(s), source sweep", "sources", "ms", order...)
-	for _, sv := range []int{5, 10, 20, 40, 64, 96, 128} {
-		vals := make([]float64, len(algs))
-		for j, a := range algs {
-			m := machine.T3D(128)
-			spec, err := SpecFor(m, dist.Equal(), sv)
-			if err != nil {
-				return nil, err
-			}
-			v, err := MustMillis(m, a.alg, spec, 4096)
-			if err != nil {
-				return nil, err
-			}
-			vals[j] = v
-		}
-		s.AddX(fmt.Sprintf("%d", sv), vals...)
+	svals := []int{5, 10, 20, 40, 64, 96, 128}
+	xs := make([]string, len(svals))
+	for i, sv := range svals {
+		xs[i] = fmt.Sprintf("%d", sv)
 	}
-	return s, nil
+	return fillSeries(s, xs, len(algs), func(i, j int) (float64, error) {
+		m := machine.T3D(128)
+		spec, err := SpecFor(m, dist.Equal(), svals[i])
+		if err != nil {
+			return 0, err
+		}
+		return MustMillis(m, algs[j].alg, spec, 4096)
+	})
 }
 
 func runFig13b() (*Series, error) {
@@ -180,21 +164,17 @@ func runFig13b() (*Series, error) {
 		order[i] = a.label
 	}
 	s := NewSeries("Figure 13b — T3D p=128, L=4K, s=40, distribution sweep", "distribution", "ms", order...)
-	for _, d := range dist.All() {
-		vals := make([]float64, len(algs))
-		for j, a := range algs {
-			m := machine.T3D(128)
-			spec, err := SpecFor(m, d, 40)
-			if err != nil {
-				return nil, err
-			}
-			v, err := MustMillis(m, a.alg, spec, 4096)
-			if err != nil {
-				return nil, err
-			}
-			vals[j] = v
-		}
-		s.AddX(d.Name(), vals...)
+	dists := dist.All()
+	xs := make([]string, len(dists))
+	for i, d := range dists {
+		xs[i] = d.Name()
 	}
-	return s, nil
+	return fillSeries(s, xs, len(algs), func(i, j int) (float64, error) {
+		m := machine.T3D(128)
+		spec, err := SpecFor(m, dists[i], 40)
+		if err != nil {
+			return 0, err
+		}
+		return MustMillis(m, algs[j].alg, spec, 4096)
+	})
 }

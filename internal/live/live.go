@@ -57,17 +57,14 @@ type Options struct {
 // machine that has already failed.
 type errAbort struct{ cause string }
 
-// mailbox is the unbounded FIFO of messages from one sender to one
-// receiver. Receivers block on the condition variable of their own inbox.
-type mailbox struct {
-	queue []comm.Message
-}
-
 // inbox is one processor's receive side: per-source FIFOs under one lock.
+// Each mailbox is a comm.Queue ring buffer, so delivered payloads do not
+// stay reachable through the queue's backing array for the rest of the
+// run.
 type inbox struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
-	boxes []mailbox
+	boxes []comm.Queue
 }
 
 // barrier is a reusable (cyclic) barrier for p participants that releases
@@ -196,6 +193,16 @@ func (p *Proc) Send(dst int, m comm.Message) {
 		panic(fmt.Sprintf("live: rank %d sends to invalid rank %d", p.rank, dst))
 	}
 	cp := comm.Message{Tag: m.Tag, Parts: make([]comm.Part, len(m.Parts))}
+	var total int
+	for _, part := range m.Parts {
+		total += len(part.Data)
+	}
+	// One backing allocation for all parts; each part gets a full slice
+	// expression so appends through one part cannot bleed into the next.
+	var backing []byte
+	if total > 0 {
+		backing = make([]byte, 0, total)
+	}
 	var bytes int64
 	for i, part := range m.Parts {
 		if part.Data == nil {
@@ -204,14 +211,14 @@ func (p *Proc) Send(dst int, m comm.Message) {
 			bytes += int64(part.Size)
 			continue
 		}
-		data := make([]byte, len(part.Data))
-		copy(data, part.Data)
-		cp.Parts[i] = comm.Part{Origin: part.Origin, Data: data}
-		bytes += int64(len(data))
+		start := len(backing)
+		backing = append(backing, part.Data...)
+		cp.Parts[i] = comm.Part{Origin: part.Origin, Data: backing[start:len(backing):len(backing)]}
+		bytes += int64(len(part.Data))
 	}
 	ib := p.m.inboxes[dst]
 	ib.mu.Lock()
-	ib.boxes[p.rank].queue = append(ib.boxes[p.rank].queue, cp)
+	ib.boxes[p.rank].Push(cp)
 	ib.cond.Broadcast()
 	ib.mu.Unlock()
 	p.stats.Sends++
@@ -238,7 +245,7 @@ func (p *Proc) Recv(src int) comm.Message {
 	}
 	ib.mu.Lock()
 	box := &ib.boxes[src]
-	for len(box.queue) == 0 {
+	for box.Len() == 0 {
 		if p.m.aborted.Load() {
 			ib.mu.Unlock()
 			panic(errAbort{cause: fmt.Sprintf("recv from %d", src)})
@@ -249,8 +256,7 @@ func (p *Proc) Recv(src int) comm.Message {
 		}
 		ib.cond.Wait()
 	}
-	m := box.queue[0]
-	box.queue = box.queue[1:]
+	m := box.Pop()
 	ib.mu.Unlock()
 	p.stats.Recvs++
 	p.stats.RecvBytes += int64(m.Len())
@@ -279,7 +285,7 @@ func RunOpts(p int, opts Options, fn func(*Proc)) (*Result, error) {
 	}
 	m := &machine{size: p, inboxes: make([]*inbox, p), recvTimeout: opts.RecvTimeout}
 	for i := range m.inboxes {
-		ib := &inbox{boxes: make([]mailbox, p)}
+		ib := &inbox{boxes: make([]comm.Queue, p)}
 		ib.cond = sync.NewCond(&ib.mu)
 		m.inboxes[i] = ib
 	}

@@ -186,6 +186,10 @@ type Network struct {
 	linkUse  []int
 	degree   int
 
+	// pathBuf is the scratch route buffer Transfer reuses; valid because
+	// the Network is single-threaded per run (see the type comment).
+	pathBuf []topology.Link
+
 	// Aggregate statistics for utilization reporting.
 	transfers int
 	bytes     int64
@@ -241,7 +245,8 @@ func (n *Network) Transfer(src, dst, bytes int, ready Time) Time {
 	n.bytes += int64(bytes)
 	a := n.place.Node(src)
 	b := n.place.Node(dst)
-	path := n.topo.Route(a, b)
+	path := n.topo.AppendRoute(n.pathBuf[:0], a, b)
+	n.pathBuf = path
 	if len(path) == 0 {
 		return ready + n.cfg.NetStartup
 	}

@@ -1,0 +1,122 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsEveryItem(t *testing.T) {
+	prev := SetLimit(4)
+	defer SetLimit(prev)
+	const n = 100
+	var done [n]atomic.Bool
+	if err := ForEach(n, func(i int) error {
+		if done[i].Swap(true) {
+			t.Errorf("item %d ran twice", i)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range done {
+		if !done[i].Load() {
+			t.Errorf("item %d never ran", i)
+		}
+	}
+}
+
+// TestForEachBoundedConcurrency asserts the harness never runs more than
+// the configured number of cells at once — the ISSUE's bounded-
+// concurrency requirement.
+func TestForEachBoundedConcurrency(t *testing.T) {
+	const limit = 3
+	prev := SetLimit(limit)
+	defer SetLimit(prev)
+	var cur, peak atomic.Int64
+	if err := ForEach(64, func(i int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond) // widen the overlap window
+		cur.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > limit {
+		t.Fatalf("observed %d concurrent jobs, limit %d", got, limit)
+	}
+}
+
+// TestForEachFirstErrorByIndex: the returned error must be the lowest
+// failed index regardless of completion order, so failures are
+// deterministic under parallelism.
+func TestForEachFirstErrorByIndex(t *testing.T) {
+	prev := SetLimit(8)
+	defer SetLimit(prev)
+	for trial := 0; trial < 10; trial++ {
+		err := ForEach(32, func(i int) error {
+			if i%5 == 2 { // fails at 2, 7, 12, ...
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 2 failed" {
+			t.Fatalf("trial %d: got %v, want item 2's error", trial, err)
+		}
+	}
+}
+
+func TestForEachCompletesAllItemsDespiteError(t *testing.T) {
+	prev := SetLimit(4)
+	defer SetLimit(prev)
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := ForEach(40, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := ran.Load(); got != 40 {
+		t.Fatalf("%d items ran, want all 40 (failures must not cancel the grid)", got)
+	}
+}
+
+func TestForEachSerialWhenLimitOne(t *testing.T) {
+	prev := SetLimit(1)
+	defer SetLimit(prev)
+	last := -1
+	if err := ForEach(50, func(i int) error {
+		if i != last+1 {
+			t.Fatalf("serial mode ran %d after %d", i, last)
+		}
+		last = i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLimitDefaultsToGOMAXPROCS(t *testing.T) {
+	prev := SetLimit(0)
+	defer SetLimit(prev)
+	if got, want := Limit(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Limit() = %d, want GOMAXPROCS %d", got, want)
+	}
+	if Workers(3) < 1 {
+		t.Fatal("Workers must be at least 1")
+	}
+}

@@ -4,11 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/par"
 )
 
 // Default tier parameters.
@@ -26,7 +26,8 @@ type Options struct {
 	// simulations. 0 means DefaultTopK; negative disables probing
 	// entirely (pure analytic selection).
 	TopK int
-	// Workers is the probe worker-pool size. 0 means GOMAXPROCS.
+	// Workers is the probe worker-pool size. 0 means the shared pool
+	// limit (par.Limit(), GOMAXPROCS unless overridden by -parallel).
 	Workers int
 	// Candidates restricts the algorithms considered. Empty means every
 	// algorithm in core.Registry(), in the paper's order.
@@ -149,7 +150,7 @@ func (pl *Planner) Decide(ctx context.Context, m *machine.Machine, req Request) 
 		}
 		workers := pl.opts.Workers
 		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
+			workers = par.Limit()
 		}
 		probes, err := probeCandidates(ctx, m, req.Spec, req.MsgLen, names, workers, pl.opts.MaxProbeOps)
 		if err != nil {

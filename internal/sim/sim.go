@@ -4,15 +4,26 @@
 // Each of the p virtual processors runs the user's algorithm function in
 // its own goroutine, but the engine enforces strictly sequential execution:
 // exactly one processor goroutine holds the run token at any instant, and
-// the scheduler always hands the token to the runnable processor with the
-// smallest local virtual clock (ties broken by rank). Every communication
-// operation yields the token. The result is a deterministic, conservative
-// discrete-event simulation: identical inputs produce identical timings,
-// and network link claims are issued in (near) nondecreasing virtual-time
-// order. The residual approximation — a processor that un-blocks from a
-// receive may claim links at a virtual time slightly before links already
-// claimed by processors that ran ahead — is second-order and documented in
-// DESIGN.md.
+// the token always moves to the runnable processor with the smallest local
+// virtual clock (ties broken by rank). Every communication operation yields
+// the token. The result is a deterministic, conservative discrete-event
+// simulation: identical inputs produce identical timings, and network link
+// claims are issued in (near) nondecreasing virtual-time order. The
+// residual approximation — a processor that un-blocks from a receive may
+// claim links at a virtual time slightly before links already claimed by
+// processors that ran ahead — is second-order and documented in DESIGN.md.
+//
+// Scheduling is O(log p) per operation: runnable processors live in an
+// indexed binary min-heap keyed by (clock, rank) that is maintained
+// incrementally on every state transition, and done/barrier processors are
+// tracked by counters — nothing ever rescans all p processors on the hot
+// path. The token is handed directly from the yielding processor to the
+// next one (one channel transfer per dispatch, none at all when the
+// yielding processor is still the earliest runnable one), and the
+// per-pair pending-message queues are ring buffers whose backing arrays
+// are recycled through a sync.Pool, so steady-state Send/Recv performs no
+// heap allocation. See DESIGN.md ("Simulator scheduler") for the data
+// structure and the one-token invariant.
 //
 // Cost model (see internal/network for the wire side):
 //
@@ -28,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/internal/comm"
 	"repro/internal/network"
@@ -46,6 +58,87 @@ const (
 type pending struct {
 	msg     comm.Message
 	arrival network.Time
+}
+
+// pendQueue is an allocation-free FIFO of pending messages for one
+// (src,dst) pair: a ring buffer over a power-of-two backing array.
+// Popped slots are zeroed so delivered payloads do not stay reachable
+// through the queue for the rest of the run.
+type pendQueue struct {
+	buf  []pending // len(buf) is a power of two (or nil)
+	head int
+	n    int
+}
+
+// pendSlabs recycles ring-buffer backing arrays across queues and runs so
+// steady-state Send/Recv allocates nothing. Every slab has power-of-two
+// length; slabs are zeroed before they are returned to the pool.
+var pendSlabs = sync.Pool{New: func() any {
+	s := make([]pending, 8)
+	return &s
+}}
+
+func (q *pendQueue) push(pd pending) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = pd
+	q.n++
+}
+
+func (q *pendQueue) grow() {
+	if q.buf == nil {
+		q.buf = *pendSlabs.Get().(*[]pending)
+		return
+	}
+	next := make([]pending, 2*len(q.buf))
+	for i := 0; i < q.n; i++ {
+		next[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	old := q.buf
+	for i := range old {
+		old[i] = pending{}
+	}
+	pendSlabs.Put(&old)
+	q.buf = next
+	q.head = 0
+}
+
+func (q *pendQueue) pop() pending {
+	pd := q.buf[q.head]
+	q.buf[q.head] = pending{} // release message references promptly
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return pd
+}
+
+// release drains any undelivered entries (zeroing their message
+// references) and returns the backing array to the slab pool.
+func (q *pendQueue) release() {
+	if q.buf == nil {
+		return
+	}
+	for q.n > 0 {
+		q.pop()
+	}
+	buf := q.buf
+	*q = pendQueue{}
+	pendSlabs.Put(&buf)
+}
+
+// queueArrays recycles the p*p queue tables across runs.
+var queueArrays = sync.Pool{}
+
+func getQueueArray(n int) []pendQueue {
+	if v := queueArrays.Get(); v != nil {
+		q := *(v.(*[]pendQueue))
+		if cap(q) >= n {
+			// Entries were reset by release(); slots beyond the previous
+			// length are zero from allocation.
+			return q[:n]
+		}
+	}
+	return make([]pendQueue, n)
 }
 
 // IterStats aggregates one processor's activity inside one algorithm
@@ -122,6 +215,9 @@ type Proc struct {
 
 	clock network.Time
 	state procState
+	// heapIdx is the processor's slot in the ready heap, -1 when it is
+	// not runnable (blocked, in a barrier, or done).
+	heapIdx int
 	// waitSrc is the sender this processor is blocked on (stateBlocked).
 	waitSrc int
 	// recvStart is the clock when the current Recv began, for wait
@@ -146,15 +242,35 @@ var _ comm.Comm = (*Proc)(nil)
 var _ comm.Clock = (*Proc)(nil)
 var _ comm.IterMarker = (*Proc)(nil)
 
+// engine is the shared state of one run. All fields are owned by the run
+// token: only the goroutine currently holding the token (or, before the
+// first and after the last handoff, Run itself) touches them, so no locks
+// are needed and every access is ordered by the resume/finish channels.
 type engine struct {
-	net     *network.Network
-	cfg     network.Config
-	p       int
-	procs   []*Proc
-	queues  [][]pending // index src*p+dst
-	yield   chan struct{}
+	net    *network.Network
+	cfg    network.Config
+	p      int
+	procs  []*Proc
+	queues []pendQueue // index src*p+dst
+
+	// ready is the indexed binary min-heap of runnable processors, keyed
+	// by (clock, rank). procs[i].heapIdx tracks positions.
+	ready []*Proc
+	// doneCount and barrierCount replace full-state rescans: the run is
+	// over when doneCount == p, and a barrier releases when
+	// barrierCount+doneCount == p with barrierCount > 0.
+	doneCount    int
+	barrierCount int
+
+	ops     int
 	opts    Options
+	err     error // terminal scheduler error (deadlock, MaxOps)
 	aborted bool
+
+	// finish carries the token back to Run when the run ends, and acks
+	// each unwound processor during drain. Buffered so a p==0 run (or the
+	// final handoff) never self-blocks.
+	finish chan struct{}
 }
 
 // errAbort unwinds processor goroutines when the run is abandoned
@@ -178,12 +294,18 @@ func Run(net *network.Network, fn func(*Proc), opts Options) (*Result, error) {
 		cfg:    net.Config(),
 		p:      p,
 		procs:  make([]*Proc, p),
-		queues: make([][]pending, p*p),
-		yield:  make(chan struct{}),
+		queues: getQueueArray(p * p),
+		ready:  make([]*Proc, 0, p),
 		opts:   opts,
+		finish: make(chan struct{}, 1),
 	}
 	for i := 0; i < p; i++ {
-		eng.procs[i] = &Proc{eng: eng, rank: i, iter: -1, resume: make(chan struct{})}
+		eng.procs[i] = &Proc{eng: eng, rank: i, iter: -1, heapIdx: -1, resume: make(chan struct{})}
+	}
+	// All processors start runnable at clock 0; pushing in rank order
+	// seeds the deterministic (clock, rank) dispatch order.
+	for _, pr := range eng.procs {
+		eng.heapPush(pr)
 	}
 	for i := 0; i < p; i++ {
 		pr := eng.procs[i]
@@ -195,8 +317,16 @@ func Run(net *network.Network, fn func(*Proc), opts Options) (*Result, error) {
 						pr.err = fmt.Errorf("sim: rank %d panicked: %v", pr.rank, r)
 					}
 				}
+				if pr.heapIdx >= 0 {
+					eng.heapRemove(pr)
+				}
 				pr.state = stateDone
-				eng.yield <- struct{}{}
+				eng.doneCount++
+				if eng.aborted {
+					eng.finish <- struct{}{}
+					return
+				}
+				eng.handoff(eng.next())
 			}()
 			if eng.aborted {
 				return
@@ -204,10 +334,16 @@ func Run(net *network.Network, fn func(*Proc), opts Options) (*Result, error) {
 			fn(pr)
 		}()
 	}
-	if err := eng.loop(); err != nil {
+	// Hand the token to the earliest processor and wait for it to come
+	// back when the run is over.
+	eng.handoff(eng.next())
+	<-eng.finish
+	if eng.err != nil {
 		eng.drain()
-		return nil, err
+		eng.release()
+		return nil, eng.err
 	}
+	eng.release()
 	res := &Result{Procs: make([]ProcStats, p), Net: net.Stats()}
 	for i, pr := range eng.procs {
 		if pr.err != nil {
@@ -231,57 +367,141 @@ func Run(net *network.Network, fn func(*Proc), opts Options) (*Result, error) {
 	return res, nil
 }
 
-// loop is the conservative scheduler: repeatedly run the smallest-clock
-// runnable processor for one operation.
-func (e *engine) loop() error {
-	ops := 0
+// release returns the pending queues' backing arrays and the queue table
+// itself to their pools, zeroing any undelivered messages.
+func (e *engine) release() {
+	for i := range e.queues {
+		e.queues[i].release()
+	}
+	q := e.queues[:0]
+	e.queues = nil
+	queueArrays.Put(&q)
+}
+
+// less orders the ready heap by (clock, rank) — the same total order the
+// seed scheduler's linear scan used, so timings are bit-identical.
+func (e *engine) less(a, b *Proc) bool {
+	return a.clock < b.clock || (a.clock == b.clock && a.rank < b.rank)
+}
+
+func (e *engine) heapUp(i int) {
+	pr := e.ready[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(pr, e.ready[parent]) {
+			break
+		}
+		e.ready[i] = e.ready[parent]
+		e.ready[i].heapIdx = i
+		i = parent
+	}
+	e.ready[i] = pr
+	pr.heapIdx = i
+}
+
+// heapDown sifts the element at i toward the leaves; it reports whether
+// the element moved.
+func (e *engine) heapDown(i int) bool {
+	pr := e.ready[i]
+	start := i
+	n := len(e.ready)
 	for {
-		if e.opts.MaxOps > 0 {
-			ops++
-			if ops > e.opts.MaxOps {
-				return fmt.Errorf("sim: aborted after %d operations (MaxOps): %w", e.opts.MaxOps, ErrMaxOps)
-			}
+		l := 2*i + 1
+		if l >= n {
+			break
 		}
-		next := -1
-		doneCount, barrierCount := 0, 0
-		for i, pr := range e.procs {
-			switch pr.state {
-			case stateDone:
-				doneCount++
-			case stateBarrier:
-				barrierCount++
-			case stateReady:
-				if next < 0 || pr.clock < e.procs[next].clock {
-					next = i
-				}
-			}
+		c := l
+		if r := l + 1; r < n && e.less(e.ready[r], e.ready[l]) {
+			c = r
 		}
-		if doneCount == e.p {
-			return nil
+		if !e.less(e.ready[c], pr) {
+			break
 		}
-		if next >= 0 {
-			pr := e.procs[next]
-			pr.resume <- struct{}{}
-			<-e.yield
-			continue
-		}
-		if barrierCount > 0 && barrierCount+doneCount == e.p {
-			e.releaseBarrier()
-			continue
-		}
-		return e.deadlockError()
+		e.ready[i] = e.ready[c]
+		e.ready[i].heapIdx = i
+		i = c
+	}
+	e.ready[i] = pr
+	pr.heapIdx = i
+	return i != start
+}
+
+func (e *engine) heapPush(pr *Proc) {
+	e.ready = append(e.ready, pr)
+	pr.heapIdx = len(e.ready) - 1
+	e.heapUp(pr.heapIdx)
+}
+
+func (e *engine) heapRemove(pr *Proc) {
+	i := pr.heapIdx
+	last := len(e.ready) - 1
+	moved := e.ready[last]
+	e.ready = e.ready[:last]
+	pr.heapIdx = -1
+	if i == last {
+		return
+	}
+	e.ready[i] = moved
+	moved.heapIdx = i
+	if !e.heapDown(i) {
+		e.heapUp(i)
 	}
 }
 
+// clockAdvanced restores the heap ordering after the processor's clock
+// increased in place (it can only move toward the leaves).
+func (e *engine) clockAdvanced(pr *Proc) {
+	e.heapDown(pr.heapIdx)
+}
+
+// next picks the processor the token moves to: the root of the ready
+// heap. When no processor is runnable it releases the barrier (if every
+// live processor reached it) or records the terminal condition — normal
+// completion (nil, e.err == nil), deadlock, or an exhausted MaxOps budget
+// (nil, e.err set).
+func (e *engine) next() *Proc {
+	if e.opts.MaxOps > 0 {
+		e.ops++
+		if e.ops > e.opts.MaxOps {
+			e.err = fmt.Errorf("sim: aborted after %d operations (MaxOps): %w", e.opts.MaxOps, ErrMaxOps)
+			return nil
+		}
+	}
+	for {
+		if len(e.ready) > 0 {
+			return e.ready[0]
+		}
+		if e.doneCount == e.p {
+			return nil
+		}
+		if e.barrierCount > 0 && e.barrierCount+e.doneCount == e.p {
+			e.releaseBarrier()
+			continue
+		}
+		e.err = e.deadlockError()
+		return nil
+	}
+}
+
+// handoff transfers the run token: directly to the next processor's
+// goroutine, or back to Run when the run is over.
+func (e *engine) handoff(next *Proc) {
+	if next != nil {
+		next.resume <- struct{}{}
+		return
+	}
+	e.finish <- struct{}{}
+}
+
 // drain terminates every unfinished processor goroutine after the run is
-// abandoned: each is resumed once and unwinds via the errAbort panic in
-// doYield (or skips its function body if it never started).
+// abandoned: each is resumed once and unwinds via the errAbort panic (or
+// skips its function body if it never started).
 func (e *engine) drain() {
 	e.aborted = true
 	for _, pr := range e.procs {
 		if pr.state != stateDone {
 			pr.resume <- struct{}{}
-			<-e.yield
+			<-e.finish
 		}
 	}
 }
@@ -301,8 +521,10 @@ func (e *engine) releaseBarrier() {
 		if pr.state == stateBarrier {
 			pr.clock = t
 			pr.state = stateReady
+			e.heapPush(pr)
 		}
 	}
+	e.barrierCount = 0
 }
 
 func (e *engine) deadlockError() error {
@@ -332,13 +554,39 @@ func (p *Proc) Size() int { return p.eng.p }
 // Now returns the processor's current virtual clock.
 func (p *Proc) Now() network.Time { return p.clock }
 
-// doYield hands the token back to the scheduler and blocks until
-// rescheduled. If the run was abandoned meanwhile, it unwinds the
-// processor goroutine.
-func (p *Proc) doYield() {
-	p.eng.yield <- struct{}{}
+// yield completes one operation while the processor stays runnable: if it
+// is still the earliest runnable processor it keeps the token and returns
+// immediately (no synchronization at all); otherwise it hands the token
+// directly to the next processor and parks.
+func (p *Proc) yield() {
+	e := p.eng
+	next := e.next()
+	if next == p {
+		return
+	}
+	e.handoff(next)
 	<-p.resume
-	if p.eng.aborted {
+	if e.aborted {
+		panic(errAbort{})
+	}
+}
+
+// park hands the token on and blocks until rescheduled; the caller must
+// already have taken this processor out of the ready heap. next() can
+// still return this very processor: releasing a barrier re-inserts every
+// waiter, and the caller — the last to arrive — is the new heap minimum
+// when it has the lowest rank (all waiters exit at the same instant). In
+// that case the processor keeps the token; handing off to itself would
+// block forever on its own resume channel.
+func (p *Proc) park() {
+	e := p.eng
+	next := e.next()
+	if next == p {
+		return
+	}
+	e.handoff(next)
+	<-p.resume
+	if e.aborted {
 		panic(errAbort{})
 	}
 }
@@ -358,8 +606,7 @@ func (p *Proc) Send(dst int, m comm.Message) {
 	n := m.Len()
 	p.clock += p.eng.cfg.SendOverhead + p.eng.cfg.CopyCost(n)
 	arrival := p.eng.net.Transfer(p.rank, dst, n, p.clock)
-	qi := p.rank*p.eng.p + dst
-	p.eng.queues[qi] = append(p.eng.queues[qi], pending{msg: m, arrival: arrival})
+	p.eng.queues[p.rank*p.eng.p+dst].push(pending{msg: m, arrival: arrival})
 	p.sends++
 	p.sendBytes += int64(n)
 	it := p.curIter()
@@ -368,12 +615,14 @@ func (p *Proc) Send(dst int, m comm.Message) {
 	if t := p.eng.opts.Tracer; t != nil {
 		t.Trace(Event{Kind: "send", Rank: p.rank, Peer: dst, Bytes: n, Parts: len(m.Parts), Tag: m.Tag, Clock: p.clock, Arrival: arrival, Iter: p.iter})
 	}
+	p.eng.clockAdvanced(p)
 	// Wake the destination if it is blocked waiting for exactly us.
 	d := p.eng.procs[dst]
 	if d.state == stateBlocked && d.waitSrc == p.rank {
 		d.state = stateReady
+		p.eng.heapPush(d)
 	}
-	p.doYield()
+	p.yield()
 }
 
 // Recv implements comm.Comm.
@@ -386,11 +635,9 @@ func (p *Proc) Recv(src int) comm.Message {
 		p.recvStart = p.clock
 	}
 	for {
-		qi := src*p.eng.p + p.rank
-		q := p.eng.queues[qi]
-		if len(q) > 0 {
-			pd := q[0]
-			p.eng.queues[qi] = q[1:]
+		q := &p.eng.queues[src*p.eng.p+p.rank]
+		if q.n > 0 {
+			pd := q.pop()
 			if pd.arrival > p.recvStart {
 				p.waitCount++
 				p.waitTime += pd.arrival - p.recvStart
@@ -409,12 +656,14 @@ func (p *Proc) Recv(src int) comm.Message {
 			if t := p.eng.opts.Tracer; t != nil {
 				t.Trace(Event{Kind: "recv", Rank: p.rank, Peer: src, Bytes: n, Parts: len(pd.msg.Parts), Tag: pd.msg.Tag, Clock: p.clock, Arrival: pd.arrival, Iter: p.iter})
 			}
-			p.doYield()
+			p.eng.clockAdvanced(p)
+			p.yield()
 			return pd.msg
 		}
 		p.state = stateBlocked
 		p.waitSrc = src
-		p.doYield()
+		p.eng.heapRemove(p)
+		p.park()
 	}
 }
 
@@ -424,7 +673,9 @@ func (p *Proc) Barrier() {
 		t.Trace(Event{Kind: "barrier", Rank: p.rank, Clock: p.clock, Iter: p.iter})
 	}
 	p.state = stateBarrier
-	p.doYield()
+	p.eng.barrierCount++
+	p.eng.heapRemove(p)
+	p.park()
 }
 
 // AdvanceCombine implements comm.Clock: charge the local cost of merging n
@@ -436,6 +687,9 @@ func (p *Proc) AdvanceCombine(n int) {
 	if t := p.eng.opts.Tracer; t != nil {
 		t.Trace(Event{Kind: "combine", Rank: p.rank, Bytes: n, Clock: p.clock, Iter: p.iter})
 	}
+	// The clock moved without a yield; keep the heap ordered so the next
+	// dispatch still sees a consistent (clock, rank) key.
+	p.eng.clockAdvanced(p)
 }
 
 // BeginIter implements comm.IterMarker.

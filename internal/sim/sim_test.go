@@ -155,6 +155,51 @@ func TestBarrierSynchronizesClocks(t *testing.T) {
 	}
 }
 
+// TestBarrierRankZeroArrivesLast pins the self-handoff case: when rank 0
+// carries the largest clock it is dispatched last, so it is the
+// processor whose park() releases the barrier — and after the release
+// every waiter exits at the same instant, making rank 0 the heap minimum
+// again. The scheduler must keep the token instead of handing it to
+// itself (which deadlocked: a send on its own resume channel). The
+// watchdog turns a regression into a fast failure instead of a hung
+// test binary.
+func TestBarrierRankZeroArrivesLast(t *testing.T) {
+	nw := lineNet(t, 4)
+	done := make(chan *Result, 1)
+	go func() {
+		done <- run(t, nw, func(p *Proc) {
+			for round := 0; round < 2; round++ {
+				// Rank 0 takes the largest clock, then performs a yielding
+				// operation (self send/receive): the token visits every
+				// other rank, they all enter the barrier, and rank 0 is
+				// the processor that arrives last and triggers the
+				// release from inside park().
+				if p.Rank() == 0 {
+					p.AdvanceCombine(10_000)
+				} else {
+					p.AdvanceCombine(100 * p.Rank())
+				}
+				p.Send(p.Rank(), comm.Message{Parts: []comm.Part{{Origin: p.Rank(), Size: 8}}})
+				p.Recv(p.Rank())
+				p.Barrier()
+			}
+		})
+	}()
+	select {
+	case res := <-done:
+		var first network.Time
+		for i, ps := range res.Procs {
+			if i == 0 {
+				first = ps.Finish
+			} else if ps.Finish != first {
+				t.Fatalf("barrier left clocks skewed: %v vs %v", ps.Finish, first)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run deadlocked: barrier release handed the token to the parking processor")
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	prog := func(p *Proc) {
 		comm.MarkIter(p, 0)

@@ -164,14 +164,14 @@ func readFrame(r io.Reader) (comm.Message, error) {
 type inbox struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
-	boxes    [][]comm.Message
+	boxes    []comm.Queue
 	barriers []int
 	dead     error
 }
 
 func (ib *inbox) push(src int, m comm.Message) {
 	ib.mu.Lock()
-	ib.boxes[src] = append(ib.boxes[src], m)
+	ib.boxes[src].Push(m)
 	ib.cond.Broadcast()
 	ib.mu.Unlock()
 }
@@ -220,12 +220,10 @@ func (ib *inbox) waitLocked(timeout time.Duration, ready func() bool) error {
 func (ib *inbox) pop(src int, timeout time.Duration) (comm.Message, error) {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
-	if err := ib.waitLocked(timeout, func() bool { return len(ib.boxes[src]) > 0 }); err != nil {
+	if err := ib.waitLocked(timeout, func() bool { return ib.boxes[src].Len() > 0 }); err != nil {
 		return comm.Message{}, err
 	}
-	m := ib.boxes[src][0]
-	ib.boxes[src] = ib.boxes[src][1:]
-	return m, nil
+	return ib.boxes[src].Pop(), nil
 }
 
 func (ib *inbox) popBarrier(src int, timeout time.Duration) error {
@@ -536,7 +534,7 @@ func setup(p int, opts Options) ([]*Proc, *state, func(), error) {
 			return nil, nil, nil, fmt.Errorf("tcp: listen for rank %d: %w", i, err)
 		}
 		listeners[i] = ln
-		in := &inbox{boxes: make([][]comm.Message, p), barriers: make([]int, p)}
+		in := &inbox{boxes: make([]comm.Queue, p), barriers: make([]int, p)}
 		in.cond = sync.NewCond(&in.mu)
 		procs[i] = &Proc{
 			rank: i, size: p, conns: make([]net.Conn, p), wmu: make([]sync.Mutex, p),

@@ -49,10 +49,14 @@ func (h *Hypercube) Degree() int { return h.Dim }
 // unique per (node, dimension) pair — the property the contention model
 // needs.
 func (h *Hypercube) Route(src, dst int) []Link {
+	return h.AppendRoute(nil, src, dst)
+}
+
+// AppendRoute implements Topology.
+func (h *Hypercube) AppendRoute(path []Link, src, dst int) []Link {
 	checkNode(h, src)
 	checkNode(h, dst)
 	diff := src ^ dst
-	path := make([]Link, 0, bits.OnesCount(uint(diff)))
 	cur := src
 	for k := 0; k < h.Dim; k++ {
 		bit := 1 << k

@@ -83,6 +83,11 @@ type Topology interface {
 	// Route panics if src or dst is out of range; callers are internal
 	// and out-of-range ranks indicate a bug, not an input error.
 	Route(src, dst int) []Link
+	// AppendRoute appends Route(src, dst) to path and returns the
+	// extended slice, letting hot-path callers (the network's pricing
+	// loop prices one route per simulated message) reuse a single
+	// backing array instead of allocating per call.
+	AppendRoute(path []Link, src, dst int) []Link
 	// Distance returns the number of hops between src and dst, equal to
 	// len(Route(src,dst)) but cheaper to compute.
 	Distance(src, dst int) int
@@ -147,14 +152,18 @@ func (m *Mesh2D) Node(row, col int) int {
 // routing: travel along the row to the destination column, then along the
 // column. This is the e-cube routing the Paragon hardware used.
 func (m *Mesh2D) Route(src, dst int) []Link {
+	return m.AppendRoute(nil, src, dst)
+}
+
+// AppendRoute implements Topology.
+func (m *Mesh2D) AppendRoute(path []Link, src, dst int) []Link {
 	checkNode(m, src)
 	checkNode(m, dst)
 	if src == dst {
-		return nil
+		return path
 	}
 	sr, sc := src/m.Cols, src%m.Cols
 	dr, dc := dst/m.Cols, dst%m.Cols
-	path := make([]Link, 0, abs(dr-sr)+abs(dc-sc))
 	r, c := sr, sc
 	for c != dc {
 		dir := East
@@ -252,14 +261,18 @@ func torusSteps(a, b, size int) int {
 // Route implements Topology using dimension-ordered routing (x, then y,
 // then z), each dimension taking the shorter wraparound direction.
 func (t *Torus3D) Route(src, dst int) []Link {
+	return t.AppendRoute(nil, src, dst)
+}
+
+// AppendRoute implements Topology.
+func (t *Torus3D) AppendRoute(path []Link, src, dst int) []Link {
 	checkNode(t, src)
 	checkNode(t, dst)
 	if src == dst {
-		return nil
+		return path
 	}
 	sx, sy, sz := t.Coord(src)
 	dx, dy, dz := t.Coord(dst)
-	var path []Link
 	walk := func(cur *int, size int, target int, pos, neg Direction, at func() int) {
 		steps := torusSteps(*cur, target, size)
 		dir, inc := pos, 1

@@ -52,6 +52,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/network"
+	"repro/internal/par"
 	"repro/internal/plan"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -511,3 +512,13 @@ func Experiments() []Experiment { return bench.Experiments() }
 
 // ExperimentByID returns the experiment with the given figure id ("fig3").
 func ExperimentByID(id string) (Experiment, error) { return bench.ByID(id) }
+
+// SetParallelism caps how many experiment cells (and planner probes) run
+// concurrently across the process — the worker pool behind Experiments,
+// the sweep CLIs' -parallel flag, and Plan's probe stage. n <= 0 restores
+// the default (GOMAXPROCS). It returns the previous limit. Figure output
+// is byte-identical at every setting; only wall-clock time changes.
+func SetParallelism(n int) int { return par.SetLimit(n) }
+
+// Parallelism returns the current concurrency cap (see SetParallelism).
+func Parallelism() int { return par.Limit() }
