@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test race chaos fuzz-seeds bench bench-baseline bench-all ci
+.PHONY: all fmt vet build test race chaos fuzz-seeds bench bench-baseline bench-all trace-smoke ci
 
 all: ci
 
@@ -52,4 +52,20 @@ bench-baseline:
 bench-all:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-ci: fmt vet build race fuzz-seeds
+# End-to-end trace export: run stptrace on all three engines (plus a
+# fault-injected TCP run), writing Chrome and JSONL traces, then validate
+# every file against its schema with stptrace -validate.
+trace-smoke:
+	@mkdir -p .trace-smoke
+	$(GO) run ./cmd/stptrace -engine sim -rows 4 -cols 4 -alg Br_xy_source -dist E -s 4 -bytes 1024 \
+		-chrome .trace-smoke/sim.json -json .trace-smoke/sim.jsonl
+	$(GO) run ./cmd/stptrace -engine live -rows 4 -cols 4 -alg Br_Lin -dist E -s 4 -bytes 1024 \
+		-chrome .trace-smoke/live.json -json .trace-smoke/live.jsonl
+	$(GO) run ./cmd/stptrace -engine tcp -rows 2 -cols 2 -alg Br_Lin -dist E -s 2 -bytes 512 \
+		-chrome .trace-smoke/tcp.json -json .trace-smoke/tcp.jsonl
+	$(GO) run ./cmd/stptrace -engine live -rows 2 -cols 2 -alg Br_Lin -dist E -s 2 -bytes 512 \
+		-fault-dup 0.9 -fault-seed 7 -chrome .trace-smoke/faulty.json -json .trace-smoke/faulty.jsonl
+	$(GO) run ./cmd/stptrace -validate .trace-smoke/*.json .trace-smoke/*.jsonl
+	@rm -rf .trace-smoke
+
+ci: fmt vet build race fuzz-seeds trace-smoke

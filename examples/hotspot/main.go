@@ -56,7 +56,11 @@ func main() {
 	}
 	// One shared scale, so the two grids are directly comparable.
 	for i := range runs {
-		runs[i].heat = viz.HeatmapWithMax(mesh, runs[i].loads, globalMax)
+		heat, err := viz.HeatmapWithMax(mesh, runs[i].loads, globalMax)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs[i].heat = heat
 	}
 
 	fmt.Printf("s-to-p broadcast on a %d×%d Paragon, E(%d), L=%d\n\n", rows, cols, s, msgBytes)

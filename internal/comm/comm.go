@@ -123,6 +123,16 @@ type IterMarker interface {
 	BeginIter(i int)
 }
 
+// PhaseMarker is implemented by engines that stamp traced events with an
+// algorithm-defined phase label ("gather", "broadcast", ...), so a trace
+// can attribute every send, receive and wait to the protocol stage that
+// issued it.
+type PhaseMarker interface {
+	// BeginPhase labels subsequent activity on this processor; an empty
+	// name clears the label.
+	BeginPhase(name string)
+}
+
 // ChargeCombine charges message-combining cost if the engine meters it.
 // On the live engine the combining is real work and needs no charge.
 func ChargeCombine(c Comm, n int) {
@@ -135,6 +145,14 @@ func ChargeCombine(c Comm, n int) {
 func MarkIter(c Comm, i int) {
 	if m, ok := c.(IterMarker); ok {
 		m.BeginIter(i)
+	}
+}
+
+// MarkPhase labels the processor's current protocol phase if the engine
+// stamps traced events with phases.
+func MarkPhase(c Comm, name string) {
+	if m, ok := c.(PhaseMarker); ok {
+		m.BeginPhase(name)
 	}
 }
 

@@ -24,6 +24,7 @@ type Sub struct {
 var _ Comm = (*Sub)(nil)
 var _ Clock = (*Sub)(nil)
 var _ IterMarker = (*Sub)(nil)
+var _ PhaseMarker = (*Sub)(nil)
 
 // NewSub creates the subgroup view of parent for the calling processor.
 // members must be sorted, duplicate-free global ranks and must contain the
@@ -86,3 +87,6 @@ func (s *Sub) AdvanceCombine(n int) { ChargeCombine(s.parent, n) }
 
 // BeginIter implements IterMarker by forwarding to the parent.
 func (s *Sub) BeginIter(i int) { MarkIter(s.parent, i) }
+
+// BeginPhase implements PhaseMarker by forwarding to the parent.
+func (s *Sub) BeginPhase(name string) { MarkPhase(s.parent, name) }

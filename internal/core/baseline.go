@@ -23,8 +23,10 @@ func (twoStep) Run(c comm.Comm, spec Spec, mine comm.Message) comm.Message {
 	}
 	c.Barrier()
 	comm.MarkIter(c, 0)
+	comm.MarkPhase(c, "gather")
 	gathered := collective.Gather(c, 0, spec.Sources, mine)
 	comm.MarkIter(c, 1)
+	comm.MarkPhase(c, "broadcast")
 	return collective.Bcast(c, 0, gathered)
 }
 

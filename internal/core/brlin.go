@@ -68,6 +68,7 @@ func runLine(c comm.Comm, line []int, holds []bool, myPos int, bundle comm.Messa
 			return bundle
 		}
 		comm.MarkIter(c, iterBase+it)
+		comm.MarkPhase(c, "halving")
 		next := segs[:0:0]
 		for _, g := range segs {
 			if g.n <= 1 {

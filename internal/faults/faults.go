@@ -32,6 +32,8 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 // Kind enumerates the injectable fault kinds.
@@ -164,6 +166,9 @@ type Injector struct {
 	plan     Plan
 	explicit map[[3]int][]Fault // (src,dst,msg) → faults
 
+	tr    obs.Tracer
+	start time.Time
+
 	mu     sync.Mutex
 	links  map[[2]int]*link
 	events []Event
@@ -189,6 +194,36 @@ func New(plan Plan) *Injector {
 		in.explicit[k] = append(in.explicit[k], f)
 	}
 	return in
+}
+
+// SetTracer mirrors every injected fault into an engine-agnostic event
+// stream (kind "fault", the fault name in Event.Fault) so chaos lands in
+// the same trace as the traffic that triggered it. Wall stamps are
+// nanoseconds since start — pass the same zero point the engine's tracer
+// uses. Call before the run starts; the tracer must be safe for
+// concurrent use.
+func (in *Injector) SetTracer(t obs.Tracer, start time.Time) {
+	in.tr = t
+	in.start = start
+}
+
+// trace mirrors one fault event to the tracer (nil-safe). Link faults
+// land on the sending rank's track; kills on the killed rank's.
+func (in *Injector) trace(e Event) {
+	if in.tr == nil {
+		return
+	}
+	oe := obs.Event{
+		Kind: obs.KindFault, Fault: e.Kind.String(), Iter: -1,
+		Wall: time.Since(in.start).Nanoseconds(),
+		Dur:  network.Time(e.Delay.Nanoseconds()),
+	}
+	if e.Kind == Kill {
+		oe.Rank, oe.Peer, oe.Seq = e.Rank, -1, e.Op
+	} else {
+		oe.Rank, oe.Peer, oe.Seq = e.Src, e.Dst, e.Msg
+	}
+	in.tr.Trace(oe)
 }
 
 // Events returns the injected faults so far in a canonical order
@@ -299,9 +334,10 @@ type proc struct {
 }
 
 var (
-	_ comm.Comm       = (*proc)(nil)
-	_ comm.Clock      = (*proc)(nil)
-	_ comm.IterMarker = (*proc)(nil)
+	_ comm.Comm        = (*proc)(nil)
+	_ comm.Clock       = (*proc)(nil)
+	_ comm.IterMarker  = (*proc)(nil)
+	_ comm.PhaseMarker = (*proc)(nil)
 )
 
 func (p *proc) Rank() int { return p.inner.Rank() }
@@ -313,6 +349,9 @@ func (p *proc) AdvanceCombine(n int) { comm.ChargeCombine(p.inner, n) }
 // BeginIter implements comm.IterMarker by forwarding to the engine.
 func (p *proc) BeginIter(i int) { comm.MarkIter(p.inner, i) }
 
+// BeginPhase implements comm.PhaseMarker by forwarding to the engine.
+func (p *proc) BeginPhase(name string) { comm.MarkPhase(p.inner, name) }
+
 // op counts one communication operation and kills the rank when its
 // schedule says so.
 func (p *proc) op() {
@@ -320,9 +359,11 @@ func (p *proc) op() {
 	p.ops++
 	if p.kill >= 0 && n == p.kill {
 		in := p.inj
+		ev := Event{Kind: Kill, Src: -1, Dst: -1, Msg: -1, Rank: p.Rank(), Op: n}
 		in.mu.Lock()
-		in.events = append(in.events, Event{Kind: Kill, Src: -1, Dst: -1, Msg: -1, Rank: p.Rank(), Op: n})
+		in.events = append(in.events, ev)
 		in.mu.Unlock()
+		in.trace(ev)
 		panic(fmt.Errorf("faults: rank %d killed at operation %d (injected)", p.Rank(), n))
 	}
 }
@@ -342,10 +383,12 @@ func (p *proc) Send(dst int, m comm.Message) {
 	if d.delay > 0 {
 		ev.Kind, ev.Delay = Delay, d.delay
 		in.events = append(in.events, ev)
+		in.trace(ev)
 	}
 	if d.drop {
 		ev.Kind, ev.Delay = Drop, 0
 		in.events = append(in.events, ev)
+		in.trace(ev)
 		in.mu.Unlock()
 		if d.delay > 0 {
 			time.Sleep(d.delay)
@@ -355,10 +398,12 @@ func (p *proc) Send(dst int, m comm.Message) {
 	if d.corrupt {
 		ev.Kind, ev.Delay = Corrupt, 0
 		in.events = append(in.events, ev)
+		in.trace(ev)
 	}
 	if d.dup {
 		ev.Kind, ev.Delay = Duplicate, 0
 		in.events = append(in.events, ev)
+		in.trace(ev)
 	}
 	// Register the deliveries before the engine can make them
 	// receivable: the receive side pops this log in FIFO order.

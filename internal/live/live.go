@@ -35,6 +35,8 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 // Options harden a run against hangs and stuck peers. The zero value
@@ -51,6 +53,13 @@ type Options struct {
 	// an error naming the rank and the awaited peer — this is what
 	// turns a hung or dead peer into a diagnosable failure.
 	RecvTimeout time.Duration
+	// Tracer, when non-nil, receives an obs.Event for every send, recv,
+	// wait (a receive that had to block) and barrier, stamped with
+	// wall-clock nanoseconds since the run started. Events arrive from
+	// all rank goroutines concurrently, so the tracer must be safe for
+	// concurrent use (trace.Recorder is). Nil tracing costs one branch
+	// per operation.
+	Tracer obs.Tracer
 }
 
 // errAbort is the panic value used to unwind processors blocked on a
@@ -136,11 +145,16 @@ type machine struct {
 	inboxes     []*inbox
 	bar         *barrier
 	recvTimeout time.Duration
+	tr          obs.Tracer
+	start       time.Time // run start, the zero of traced Wall stamps
 
 	aborted    atomic.Bool
 	abortMu    sync.Mutex
 	abortCause error
 }
+
+// wall returns nanoseconds since the run started.
+func (m *machine) wall() int64 { return time.Since(m.start).Nanoseconds() }
 
 // abort marks the machine failed with the given cause and wakes every
 // blocked processor. The first cause wins.
@@ -170,15 +184,26 @@ func (m *machine) cause() error {
 	return m.abortCause
 }
 
-// Proc is one live processor's handle. It implements comm.Comm. Methods
-// must only be called from the algorithm goroutine for this processor.
+// Proc is one live processor's handle. It implements comm.Comm,
+// comm.IterMarker and comm.PhaseMarker. Methods must only be called from
+// the algorithm goroutine for this processor.
 type Proc struct {
 	rank  int
 	m     *machine
 	stats ProcStats
+	iter  int
+	phase string
 }
 
 var _ comm.Comm = (*Proc)(nil)
+var _ comm.IterMarker = (*Proc)(nil)
+var _ comm.PhaseMarker = (*Proc)(nil)
+
+// BeginIter implements comm.IterMarker: traced events carry the iteration.
+func (p *Proc) BeginIter(i int) { p.iter = i }
+
+// BeginPhase implements comm.PhaseMarker: traced events carry the label.
+func (p *Proc) BeginPhase(name string) { p.phase = name }
 
 // Rank implements comm.Comm.
 func (p *Proc) Rank() int { return p.rank }
@@ -216,6 +241,10 @@ func (p *Proc) Send(dst int, m comm.Message) {
 		cp.Parts[i] = comm.Part{Origin: part.Origin, Data: backing[start:len(backing):len(backing)]}
 		bytes += int64(len(part.Data))
 	}
+	var t0 time.Time
+	if p.m.tr != nil {
+		t0 = time.Now()
+	}
 	ib := p.m.inboxes[dst]
 	ib.mu.Lock()
 	ib.boxes[p.rank].Push(cp)
@@ -223,6 +252,14 @@ func (p *Proc) Send(dst int, m comm.Message) {
 	ib.mu.Unlock()
 	p.stats.Sends++
 	p.stats.SendBytes += bytes
+	if p.m.tr != nil {
+		wall := p.m.wall()
+		p.m.tr.Trace(obs.Event{
+			Kind: obs.KindSend, Rank: p.rank, Peer: dst, Bytes: int(bytes),
+			Parts: len(cp.Parts), Tag: cp.Tag, Wall: wall,
+			Dur: network.Time(time.Since(t0).Nanoseconds()), Iter: p.iter, Phase: p.phase,
+		})
+	}
 }
 
 // Recv implements comm.Comm. With Options.RecvTimeout set, a wait
@@ -243,9 +280,15 @@ func (p *Proc) Recv(src int) comm.Message {
 		})
 		defer timer.Stop()
 	}
+	var t0 time.Time
+	if p.m.tr != nil {
+		t0 = time.Now()
+	}
+	waited := false
 	ib.mu.Lock()
 	box := &ib.boxes[src]
 	for box.Len() == 0 {
+		waited = true
 		if p.m.aborted.Load() {
 			ib.mu.Unlock()
 			panic(errAbort{cause: fmt.Sprintf("recv from %d", src)})
@@ -260,11 +303,39 @@ func (p *Proc) Recv(src int) comm.Message {
 	ib.mu.Unlock()
 	p.stats.Recvs++
 	p.stats.RecvBytes += int64(m.Len())
+	if p.m.tr != nil {
+		wall := p.m.wall()
+		spent := network.Time(time.Since(t0).Nanoseconds())
+		if waited {
+			p.m.tr.Trace(obs.Event{
+				Kind: obs.KindWait, Rank: p.rank, Peer: src, Wall: wall,
+				Dur: spent, Iter: p.iter, Phase: p.phase,
+			})
+			spent = 0 // the blocked span is the wait slice, not the recv
+		}
+		p.m.tr.Trace(obs.Event{
+			Kind: obs.KindRecv, Rank: p.rank, Peer: src, Bytes: m.Len(),
+			Parts: len(m.Parts), Tag: m.Tag, Wall: wall, Dur: spent,
+			Iter: p.iter, Phase: p.phase,
+		})
+	}
 	return m
 }
 
 // Barrier implements comm.Comm.
-func (p *Proc) Barrier() { p.m.bar.wait(p.rank, p.m.recvTimeout) }
+func (p *Proc) Barrier() {
+	var t0 time.Time
+	if p.m.tr != nil {
+		t0 = time.Now()
+	}
+	p.m.bar.wait(p.rank, p.m.recvTimeout)
+	if p.m.tr != nil {
+		p.m.tr.Trace(obs.Event{
+			Kind: obs.KindBarrier, Rank: p.rank, Peer: -1, Wall: p.m.wall(),
+			Dur: network.Time(time.Since(t0).Nanoseconds()), Iter: p.iter, Phase: p.phase,
+		})
+	}
+}
 
 // Run executes fn concurrently on p processors and returns operation
 // counts. If any processor panics, the machine aborts: every processor
@@ -283,7 +354,7 @@ func RunOpts(p int, opts Options, fn func(*Proc)) (*Result, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("live: non-positive processor count %d", p)
 	}
-	m := &machine{size: p, inboxes: make([]*inbox, p), recvTimeout: opts.RecvTimeout}
+	m := &machine{size: p, inboxes: make([]*inbox, p), recvTimeout: opts.RecvTimeout, tr: opts.Tracer}
 	for i := range m.inboxes {
 		ib := &inbox{boxes: make([]comm.Queue, p)}
 		ib.cond = sync.NewCond(&ib.mu)
@@ -328,8 +399,9 @@ func RunOpts(p int, opts Options, fn func(*Proc)) (*Result, error) {
 	unwinds := make([]error, p)
 	var wg sync.WaitGroup
 	start := time.Now()
+	m.start = start
 	for i := 0; i < p; i++ {
-		pr := &Proc{rank: i, m: m}
+		pr := &Proc{rank: i, m: m, iter: -1}
 		pr.stats.Rank = i
 		procs[i] = pr
 		wg.Add(1)

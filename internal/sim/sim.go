@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 type procState int
@@ -177,28 +178,24 @@ type Result struct {
 	Iterations int
 }
 
-// Event is a single simulator occurrence handed to a Tracer.
-type Event struct {
-	Kind    string // "send" | "recv" | "barrier" | "combine"
-	Rank    int
-	Peer    int
-	Bytes   int
-	Parts   int
-	Tag     int
-	Clock   network.Time // processor clock after the operation
-	Arrival network.Time // message arrival (recv only)
-	Iter    int
-}
+// Event is the engine-agnostic trace event (see internal/obs). The
+// simulator stamps the virtual-clock fields: Clock is the processor clock
+// after the operation, Dur the operation's virtual cost, Arrival the
+// message arrival instant (receives only).
+type Event = obs.Event
 
-// Tracer observes simulator events. Implementations must be fast; they run
-// inline under the scheduler token.
-type Tracer interface {
-	Trace(Event)
-}
+// Tracer observes simulator events (see obs.Tracer). Implementations must
+// be fast; they run inline under the scheduler token, which also means
+// they need no locking of their own.
+type Tracer = obs.Tracer
 
 // Options configure a run.
 type Options struct {
-	// Tracer, when non-nil, receives every send/recv/barrier event.
+	// Tracer, when non-nil, receives every send, recv, wait, barrier and
+	// combine event. A wait event is emitted whenever a Recv had to block
+	// for its message (the paper's wait parameter): its Dur is the
+	// blocked virtual time and its Clock the arrival instant that ended
+	// the wait.
 	Tracer Tracer
 	// MaxOps, when positive, aborts the run with an error after that
 	// many scheduler dispatches — a safeguard against algorithms that
@@ -234,6 +231,7 @@ type Proc struct {
 	combineTime          network.Time
 	iter                 int
 	iters                []IterStats
+	phase                string
 
 	err error
 }
@@ -241,6 +239,7 @@ type Proc struct {
 var _ comm.Comm = (*Proc)(nil)
 var _ comm.Clock = (*Proc)(nil)
 var _ comm.IterMarker = (*Proc)(nil)
+var _ comm.PhaseMarker = (*Proc)(nil)
 
 // engine is the shared state of one run. All fields are owned by the run
 // token: only the goroutine currently holding the token (or, before the
@@ -604,7 +603,8 @@ func (p *Proc) Send(dst int, m comm.Message) {
 		panic(fmt.Sprintf("sim: rank %d sends to invalid rank %d", p.rank, dst))
 	}
 	n := m.Len()
-	p.clock += p.eng.cfg.SendOverhead + p.eng.cfg.CopyCost(n)
+	cost := p.eng.cfg.SendOverhead + p.eng.cfg.CopyCost(n)
+	p.clock += cost
 	arrival := p.eng.net.Transfer(p.rank, dst, n, p.clock)
 	p.eng.queues[p.rank*p.eng.p+dst].push(pending{msg: m, arrival: arrival})
 	p.sends++
@@ -613,7 +613,7 @@ func (p *Proc) Send(dst int, m comm.Message) {
 	it.Sends++
 	it.Bytes += int64(n)
 	if t := p.eng.opts.Tracer; t != nil {
-		t.Trace(Event{Kind: "send", Rank: p.rank, Peer: dst, Bytes: n, Parts: len(m.Parts), Tag: m.Tag, Clock: p.clock, Arrival: arrival, Iter: p.iter})
+		t.Trace(Event{Kind: obs.KindSend, Rank: p.rank, Peer: dst, Bytes: n, Parts: len(m.Parts), Tag: m.Tag, Clock: p.clock, Dur: cost, Arrival: arrival, Iter: p.iter, Phase: p.phase})
 	}
 	p.eng.clockAdvanced(p)
 	// Wake the destination if it is blocked waiting for exactly us.
@@ -641,12 +641,16 @@ func (p *Proc) Recv(src int) comm.Message {
 			if pd.arrival > p.recvStart {
 				p.waitCount++
 				p.waitTime += pd.arrival - p.recvStart
+				if t := p.eng.opts.Tracer; t != nil {
+					t.Trace(Event{Kind: obs.KindWait, Rank: p.rank, Peer: src, Clock: pd.arrival, Dur: pd.arrival - p.recvStart, Arrival: pd.arrival, Iter: p.iter, Phase: p.phase})
+				}
 			}
 			if pd.arrival > p.clock {
 				p.clock = pd.arrival
 			}
 			n := pd.msg.Len()
-			p.clock += p.eng.cfg.RecvOverhead + p.eng.cfg.CopyCost(n)
+			cost := p.eng.cfg.RecvOverhead + p.eng.cfg.CopyCost(n)
+			p.clock += cost
 			p.recvs++
 			p.recvBytes += int64(n)
 			it := p.curIter()
@@ -654,7 +658,7 @@ func (p *Proc) Recv(src int) comm.Message {
 			it.Bytes += int64(n)
 			p.inRecv = false
 			if t := p.eng.opts.Tracer; t != nil {
-				t.Trace(Event{Kind: "recv", Rank: p.rank, Peer: src, Bytes: n, Parts: len(pd.msg.Parts), Tag: pd.msg.Tag, Clock: p.clock, Arrival: pd.arrival, Iter: p.iter})
+				t.Trace(Event{Kind: obs.KindRecv, Rank: p.rank, Peer: src, Bytes: n, Parts: len(pd.msg.Parts), Tag: pd.msg.Tag, Clock: p.clock, Dur: cost, Arrival: pd.arrival, Iter: p.iter, Phase: p.phase})
 			}
 			p.eng.clockAdvanced(p)
 			p.yield()
@@ -670,7 +674,7 @@ func (p *Proc) Recv(src int) comm.Message {
 // Barrier implements comm.Comm.
 func (p *Proc) Barrier() {
 	if t := p.eng.opts.Tracer; t != nil {
-		t.Trace(Event{Kind: "barrier", Rank: p.rank, Clock: p.clock, Iter: p.iter})
+		t.Trace(Event{Kind: obs.KindBarrier, Rank: p.rank, Peer: -1, Clock: p.clock, Iter: p.iter, Phase: p.phase})
 	}
 	p.state = stateBarrier
 	p.eng.barrierCount++
@@ -685,7 +689,7 @@ func (p *Proc) AdvanceCombine(n int) {
 	p.clock += d
 	p.combineTime += d
 	if t := p.eng.opts.Tracer; t != nil {
-		t.Trace(Event{Kind: "combine", Rank: p.rank, Bytes: n, Clock: p.clock, Iter: p.iter})
+		t.Trace(Event{Kind: obs.KindCombine, Rank: p.rank, Peer: -1, Bytes: n, Clock: p.clock, Dur: d, Iter: p.iter, Phase: p.phase})
 	}
 	// The clock moved without a yield; keep the heap ordered so the next
 	// dispatch still sees a consistent (clock, rank) key.
@@ -702,3 +706,7 @@ func (p *Proc) BeginIter(i int) {
 	}
 	p.iter = i
 }
+
+// BeginPhase implements comm.PhaseMarker: subsequent traced events carry
+// the label. It costs nothing on the virtual clock.
+func (p *Proc) BeginPhase(name string) { p.phase = name }

@@ -326,9 +326,18 @@ func TestContentionVisibleInElapsed(t *testing.T) {
 	}
 }
 
-type countTracer struct{ events int }
+type countTracer struct {
+	events int
+	kinds  map[string]int
+}
 
-func (c *countTracer) Trace(Event) { c.events++ }
+func (c *countTracer) Trace(e Event) {
+	c.events++
+	if c.kinds == nil {
+		c.kinds = make(map[string]int)
+	}
+	c.kinds[e.Kind]++
+}
 
 func TestTracerReceivesEvents(t *testing.T) {
 	nw := lineNet(t, 2)
@@ -344,9 +353,16 @@ func TestTracerReceivesEvents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 2 barriers + 1 send + 1 recv.
-	if tr.events != 4 {
-		t.Fatalf("tracer saw %d events, want 4", tr.events)
+	// 2 barriers + 1 send + 1 recv + 1 wait: rank 1 posts its receive
+	// before the message arrives, so the blocked span is traced too.
+	if tr.events != 5 {
+		t.Fatalf("tracer saw %d events, want 5", tr.events)
+	}
+	want := map[string]int{"barrier": 2, "send": 1, "recv": 1, "wait": 1}
+	for k, n := range want {
+		if tr.kinds[k] != n {
+			t.Errorf("kind %q: %d events, want %d (all: %v)", k, tr.kinds[k], n, tr.kinds)
+		}
 	}
 }
 

@@ -48,6 +48,8 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 // frame layout: [tag int32][nparts int32] then per part
@@ -93,6 +95,15 @@ type Options struct {
 	// Dial overrides the dialer (fault injection in tests); nil means
 	// net.Dial("tcp", addr).
 	Dial func(addr string) (net.Conn, error)
+	// Tracer, when non-nil, receives an obs.Event for every send, recv,
+	// wait (a receive that had to block) and barrier, stamped with
+	// wall-clock nanoseconds since machine setup completed. The reader
+	// pumps additionally stamp each data frame's arrival instant, so a
+	// traced Recv carries Arrival — the time the frame reached this
+	// rank's inbox — separating network latency from receiver lag.
+	// Events arrive from all rank goroutines concurrently; the tracer
+	// must be safe for concurrent use (trace.Recorder is).
+	Tracer obs.Tracer
 }
 
 // abortError poisons inboxes when the machine fails. external marks
@@ -167,11 +178,41 @@ type inbox struct {
 	boxes    []comm.Queue
 	barriers []int
 	dead     error
+	// arrivals mirrors boxes with per-source FIFO queues of frame-arrival
+	// wall stamps (ns since machine start). Allocated only when the run
+	// is traced; nil otherwise, so untraced runs pay nothing.
+	arrivals []tsQueue
 }
 
-func (ib *inbox) push(src int, m comm.Message) {
+// tsQueue is a FIFO of int64 timestamps (slice plus head index; traced
+// runs only, so the modest garbage of the grown slice is acceptable).
+type tsQueue struct {
+	buf  []int64
+	head int
+}
+
+func (q *tsQueue) push(t int64) { q.buf = append(q.buf, t) }
+
+func (q *tsQueue) pop() int64 {
+	if q.head >= len(q.buf) {
+		return 0
+	}
+	t := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf, q.head = q.buf[:0], 0
+	}
+	return t
+}
+
+// push enqueues a data frame from src; ts is the arrival wall stamp,
+// recorded only on traced runs.
+func (ib *inbox) push(src int, m comm.Message, ts int64) {
 	ib.mu.Lock()
 	ib.boxes[src].Push(m)
+	if ib.arrivals != nil {
+		ib.arrivals[src].push(ts)
+	}
 	ib.cond.Broadcast()
 	ib.mu.Unlock()
 }
@@ -217,13 +258,20 @@ func (ib *inbox) waitLocked(timeout time.Duration, ready func() bool) error {
 	return nil
 }
 
-func (ib *inbox) pop(src int, timeout time.Duration) (comm.Message, error) {
+// pop dequeues the next data frame from src, returning its arrival wall
+// stamp (0 when the run is untraced) and whether the caller had to block.
+func (ib *inbox) pop(src int, timeout time.Duration) (comm.Message, int64, bool, error) {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
+	waited := ib.boxes[src].Len() == 0
 	if err := ib.waitLocked(timeout, func() bool { return ib.boxes[src].Len() > 0 }); err != nil {
-		return comm.Message{}, err
+		return comm.Message{}, 0, waited, err
 	}
-	return ib.boxes[src].Pop(), nil
+	var ts int64
+	if ib.arrivals != nil {
+		ts = ib.arrivals[src].pop()
+	}
+	return ib.boxes[src].Pop(), ts, waited, nil
 }
 
 func (ib *inbox) popBarrier(src int, timeout time.Duration) error {
@@ -244,6 +292,20 @@ type state struct {
 	closed    atomic.Bool
 	aborted   atomic.Bool
 	closeOnce sync.Once
+	tr        obs.Tracer
+	start     time.Time // zero point of traced Wall stamps
+}
+
+// wall returns nanoseconds since the machine came up.
+func (st *state) wall() int64 { return time.Since(st.start).Nanoseconds() }
+
+// wallIfTraced returns wall() on traced runs and 0 otherwise, so untraced
+// hot paths skip the clock read.
+func (st *state) wallIfTraced() int64 {
+	if st.tr == nil {
+		return 0
+	}
+	return st.wall()
 }
 
 func (st *state) closeConns() {
@@ -280,6 +342,8 @@ type Proc struct {
 	in          *inbox
 	st          *state
 	recvTimeout time.Duration
+	iter        int
+	phase       string
 
 	sends, recvs               int
 	sendBytes, recvBytes       int64
@@ -287,6 +351,14 @@ type Proc struct {
 }
 
 var _ comm.Comm = (*Proc)(nil)
+var _ comm.IterMarker = (*Proc)(nil)
+var _ comm.PhaseMarker = (*Proc)(nil)
+
+// BeginIter implements comm.IterMarker: traced events carry the iteration.
+func (p *Proc) BeginIter(i int) { p.iter = i }
+
+// BeginPhase implements comm.PhaseMarker: traced events carry the label.
+func (p *Proc) BeginPhase(name string) { p.phase = name }
 
 // Rank implements comm.Comm.
 func (p *Proc) Rank() int { return p.rank }
@@ -321,11 +393,22 @@ func (p *Proc) Send(dst int, m comm.Message) {
 	}
 	p.sends++
 	p.sendBytes += int64(m.Len())
-	if dst == p.rank {
-		p.in.push(p.rank, m)
-		return
+	var t0 time.Time
+	if p.st.tr != nil {
+		t0 = time.Now()
 	}
-	p.writeTo(dst, m)
+	if dst == p.rank {
+		p.in.push(p.rank, m, p.st.wallIfTraced())
+	} else {
+		p.writeTo(dst, m)
+	}
+	if p.st.tr != nil {
+		p.st.tr.Trace(obs.Event{
+			Kind: obs.KindSend, Rank: p.rank, Peer: dst, Bytes: m.Len(),
+			Parts: len(m.Parts), Tag: m.Tag, Wall: p.st.wall(),
+			Dur: network.Time(time.Since(t0).Nanoseconds()), Iter: p.iter, Phase: p.phase,
+		})
+	}
 }
 
 // Recv implements comm.Comm. With Options.RecvTimeout set, a wait
@@ -335,12 +418,32 @@ func (p *Proc) Recv(src int) comm.Message {
 	if src < 0 || src >= p.size {
 		panic(fmt.Sprintf("tcp: rank %d receives from invalid rank %d", p.rank, src))
 	}
-	m, err := p.in.pop(src, p.recvTimeout)
+	var t0 time.Time
+	if p.st.tr != nil {
+		t0 = time.Now()
+	}
+	m, arrival, waited, err := p.in.pop(src, p.recvTimeout)
 	if err != nil {
 		panic(fmt.Errorf("recv from %d: %w", src, err))
 	}
 	p.recvs++
 	p.recvBytes += int64(m.Len())
+	if p.st.tr != nil {
+		wall := p.st.wall()
+		spent := network.Time(time.Since(t0).Nanoseconds())
+		if waited {
+			p.st.tr.Trace(obs.Event{
+				Kind: obs.KindWait, Rank: p.rank, Peer: src, Wall: wall,
+				Dur: spent, Arrival: network.Time(arrival), Iter: p.iter, Phase: p.phase,
+			})
+			spent = 0 // the blocked span is the wait slice, not the recv
+		}
+		p.st.tr.Trace(obs.Event{
+			Kind: obs.KindRecv, Rank: p.rank, Peer: src, Bytes: m.Len(),
+			Parts: len(m.Parts), Tag: m.Tag, Wall: wall, Dur: spent,
+			Arrival: network.Time(arrival), Iter: p.iter, Phase: p.phase,
+		})
+	}
 	return m
 }
 
@@ -350,6 +453,10 @@ func (p *Proc) Recv(src int) comm.Message {
 // ProcStats.BarrierSends/BarrierRecvs — so algorithm operation counts
 // agree with the live engine.
 func (p *Proc) Barrier() {
+	var t0 time.Time
+	if p.st.tr != nil {
+		t0 = time.Now()
+	}
 	for k := 1; k < p.size; k <<= 1 {
 		dst := (p.rank + k) % p.size
 		src := (p.rank - k + p.size) % p.size
@@ -359,6 +466,12 @@ func (p *Proc) Barrier() {
 			panic(fmt.Errorf("barrier recv from %d: %w", src, err))
 		}
 		p.barrierRecvs++
+	}
+	if p.st.tr != nil {
+		p.st.tr.Trace(obs.Event{
+			Kind: obs.KindBarrier, Rank: p.rank, Peer: -1, Wall: p.st.wall(),
+			Dur: network.Time(time.Since(t0).Nanoseconds()), Iter: p.iter, Phase: p.phase,
+		})
 	}
 }
 
@@ -524,7 +637,7 @@ func setup(p int, opts Options) ([]*Proc, *state, func(), error) {
 
 	listeners := make([]net.Listener, p)
 	procs := make([]*Proc, p)
-	st := &state{procs: procs}
+	st := &state{procs: procs, tr: opts.Tracer}
 	for i := 0; i < p; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -535,10 +648,13 @@ func setup(p int, opts Options) ([]*Proc, *state, func(), error) {
 		}
 		listeners[i] = ln
 		in := &inbox{boxes: make([]comm.Queue, p), barriers: make([]int, p)}
+		if opts.Tracer != nil {
+			in.arrivals = make([]tsQueue, p)
+		}
 		in.cond = sync.NewCond(&in.mu)
 		procs[i] = &Proc{
 			rank: i, size: p, conns: make([]net.Conn, p), wmu: make([]sync.Mutex, p),
-			in: in, st: st, recvTimeout: opts.RecvTimeout,
+			in: in, st: st, recvTimeout: opts.RecvTimeout, iter: -1,
 		}
 	}
 	cleanup := func() {
@@ -642,10 +758,12 @@ func setup(p int, opts Options) ([]*Proc, *state, func(), error) {
 	}
 
 	// Reader pumps: one goroutine per connection end demultiplexes
-	// frames by tag into the owner's data or barrier queues. A read
-	// error during the run is a mid-run connection failure (root cause,
+	// frames by tag into the owner's data or barrier queues, stamping
+	// each data frame's arrival instant on traced runs. A read error
+	// during the run is a mid-run connection failure (root cause,
 	// machine aborts); after the run has completed (st.closed) it is
 	// the normal teardown close and is ignored.
+	st.start = time.Now()
 	for i := 0; i < p; i++ {
 		pr := procs[i]
 		for peer, conn := range pr.conns {
@@ -666,7 +784,7 @@ func setup(p int, opts Options) ([]*Proc, *state, func(), error) {
 					if m.Tag == barrierTag {
 						pr.in.pushBarrier(peer)
 					} else {
-						pr.in.push(peer, m)
+						pr.in.push(peer, m, st.wallIfTraced())
 					}
 				}
 			}(pr, peer, conn)

@@ -1,6 +1,9 @@
-// Package trace records simulator events for inspection and export. A
-// Recorder plugs into sim.Options.Tracer; afterwards the events can be
-// dumped as JSON lines (one event per line) or summarized per kind.
+// Package trace records observability events (internal/obs) for
+// inspection and export. A Recorder plugs into sim.Options.Tracer,
+// live/tcp Options.Tracer, or faults.Injector.SetTracer; afterwards the
+// events can be dumped as JSON lines (one event per line), exported in
+// Chrome trace-event format for Perfetto (see WriteChrome), or summarized
+// per kind.
 package trace
 
 import (
@@ -9,19 +12,26 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
-	"repro/internal/sim"
+	"repro/internal/obs"
 )
 
-// Recorder accumulates simulator events. It is used from within a single
-// scheduler, so it needs no locking.
+// Recorder accumulates events. It is safe for concurrent use, so one
+// Recorder can serve the live/tcp engines (events arrive from many rank
+// goroutines) and the fault injector at once; under the simulator's
+// one-token scheduler the lock is uncontended.
 type Recorder struct {
-	// Events holds every traced event in simulation order.
-	Events []sim.Event
+	// Events holds the retained events in arrival order. Read it only
+	// after the run has completed.
+	Events []obs.Event
 	// Cap, when positive, bounds the number of retained events; further
-	// events only update the counters.
-	Cap    int
-	counts map[string]int
+	// events only update the counters and the Dropped count.
+	Cap int
+
+	mu      sync.Mutex
+	dropped int
+	counts  map[string]int
 }
 
 // NewRecorder returns a Recorder retaining at most cap events (0 = all).
@@ -29,23 +39,48 @@ func NewRecorder(cap int) *Recorder {
 	return &Recorder{Cap: cap, counts: make(map[string]int)}
 }
 
-// Trace implements sim.Tracer.
-func (r *Recorder) Trace(e sim.Event) {
+// Trace implements obs.Tracer (and therefore sim.Tracer).
+func (r *Recorder) Trace(e obs.Event) {
+	r.mu.Lock()
 	if r.counts == nil {
 		r.counts = make(map[string]int)
 	}
 	r.counts[e.Kind]++
 	if r.Cap > 0 && len(r.Events) >= r.Cap {
+		r.dropped++
+		r.mu.Unlock()
 		return
 	}
 	r.Events = append(r.Events, e)
+	r.mu.Unlock()
 }
 
 // Count returns how many events of the kind were traced (including events
 // dropped by Cap).
-func (r *Recorder) Count(kind string) int { return r.counts[kind] }
+func (r *Recorder) Count(kind string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[kind]
+}
 
-// WriteJSON writes the retained events as JSON lines.
+// Dropped returns how many events were discarded because the Cap was
+// reached. Their kinds still appear in Count and Summary.
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// truncationNote is the final JSON line WriteJSON emits for a capped
+// trace, so a consumer of the file can tell it is incomplete.
+type truncationNote struct {
+	Kind    string `json:"kind"` // always "truncated"
+	Dropped int    `json:"dropped"`
+}
+
+// WriteJSON writes the retained events as JSON lines. If the Cap dropped
+// events, a final note line {"kind":"truncated","dropped":N} marks the
+// trace as incomplete.
 func (r *Recorder) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	for _, e := range r.Events {
@@ -53,11 +88,18 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 			return fmt.Errorf("trace: encoding event: %w", err)
 		}
 	}
+	if n := r.Dropped(); n > 0 {
+		if err := enc.Encode(truncationNote{Kind: "truncated", Dropped: n}); err != nil {
+			return fmt.Errorf("trace: encoding truncation note: %w", err)
+		}
+	}
 	return nil
 }
 
-// Summary renders per-kind event counts, sorted by kind.
+// Summary renders per-kind event counts, sorted by kind, with a trailing
+// dropped count when the Cap truncated the trace.
 func (r *Recorder) Summary() string {
+	r.mu.Lock()
 	kinds := make([]string, 0, len(r.counts))
 	for k := range r.counts {
 		kinds = append(kinds, k)
@@ -67,5 +109,9 @@ func (r *Recorder) Summary() string {
 	for i, k := range kinds {
 		parts[i] = fmt.Sprintf("%s=%d", k, r.counts[k])
 	}
+	if r.dropped > 0 {
+		parts = append(parts, fmt.Sprintf("dropped=%d", r.dropped))
+	}
+	r.mu.Unlock()
 	return strings.Join(parts, " ")
 }

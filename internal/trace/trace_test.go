@@ -99,3 +99,60 @@ func TestZeroValueRecorderUsable(t *testing.T) {
 		t.Fatal("zero-value recorder dropped event")
 	}
 }
+
+func TestRecorderDroppedCount(t *testing.T) {
+	r := NewRecorder(3)
+	for _, e := range events(10) {
+		r.Trace(e)
+	}
+	if r.Dropped() != 7 {
+		t.Fatalf("Dropped = %d, want 7", r.Dropped())
+	}
+	if got := r.Summary(); !strings.Contains(got, "dropped=7") {
+		t.Fatalf("Summary hides truncation: %q", got)
+	}
+	// An uncapped recorder never reports drops.
+	r2 := NewRecorder(0)
+	for _, e := range events(10) {
+		r2.Trace(e)
+	}
+	if r2.Dropped() != 0 {
+		t.Fatalf("uncapped recorder dropped %d", r2.Dropped())
+	}
+	if strings.Contains(r2.Summary(), "dropped") {
+		t.Fatalf("uncapped summary mentions drops: %q", r2.Summary())
+	}
+}
+
+func TestWriteJSONTruncationNote(t *testing.T) {
+	r := NewRecorder(2)
+	for _, e := range events(5) {
+		r.Trace(e)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 2 events + 1 note, got %d lines", len(lines))
+	}
+	var note struct {
+		Kind    string `json:"kind"`
+		Dropped int    `json:"dropped"`
+	}
+	if err := json.Unmarshal([]byte(lines[2]), &note); err != nil {
+		t.Fatal(err)
+	}
+	if note.Kind != "truncated" || note.Dropped != 3 {
+		t.Fatalf("note = %+v, want truncated/3", note)
+	}
+	// The validator accepts the note without counting it as an event.
+	n, err := ValidateJSONL(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("ValidateJSONL counted %d events, want 2", n)
+	}
+}

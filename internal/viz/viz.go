@@ -19,7 +19,8 @@ var heatRunes = []byte(" .:-=+*#%@")
 // is idle, '@' the busiest node. Node order is row-major (the machine's
 // rank order under identity placement). The scale is normalized to the
 // grid's own maximum; use HeatmapWithMax to compare runs on one scale.
-func Heatmap(mesh *topology.Mesh2D, load []network.Time) string {
+// A load slice that does not match the mesh is an error, never a grid.
+func Heatmap(mesh *topology.Mesh2D, load []network.Time) (string, error) {
 	var max network.Time
 	for _, v := range load {
 		if v > max {
@@ -31,9 +32,9 @@ func Heatmap(mesh *topology.Mesh2D, load []network.Time) string {
 
 // HeatmapWithMax renders like Heatmap but normalizes against the given
 // maximum, so several grids share one scale.
-func HeatmapWithMax(mesh *topology.Mesh2D, load []network.Time, max network.Time) string {
+func HeatmapWithMax(mesh *topology.Mesh2D, load []network.Time, max network.Time) (string, error) {
 	if len(load) != mesh.Nodes() {
-		return fmt.Sprintf("viz: %d load values for %d nodes", len(load), mesh.Nodes())
+		return "", fmt.Errorf("viz: %d load values for %d nodes", len(load), mesh.Nodes())
 	}
 	var b strings.Builder
 	for r := 0; r < mesh.Rows; r++ {
@@ -47,7 +48,7 @@ func HeatmapWithMax(mesh *topology.Mesh2D, load []network.Time, max network.Time
 		}
 		b.WriteByte('\n')
 	}
-	return b.String()
+	return b.String(), nil
 }
 
 // Bars renders labelled values as a horizontal bar chart, scaled to the

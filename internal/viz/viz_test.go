@@ -13,7 +13,10 @@ import (
 func TestHeatmapScalesToRamp(t *testing.T) {
 	mesh := topology.MustMesh2D(2, 3)
 	load := []network.Time{0, 10, 20, 30, 40, 100}
-	got := Heatmap(mesh, load)
+	got, err := Heatmap(mesh, load)
+	if err != nil {
+		t.Fatal(err)
+	}
 	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
 	if len(lines) != 2 || len(lines[0]) != 3 {
 		t.Fatalf("grid shape wrong:\n%s", got)
@@ -28,8 +31,15 @@ func TestHeatmapScalesToRamp(t *testing.T) {
 
 func TestHeatmapSizeMismatch(t *testing.T) {
 	mesh := topology.MustMesh2D(2, 2)
-	if got := Heatmap(mesh, []network.Time{1}); !strings.Contains(got, "viz:") {
-		t.Fatalf("mismatch not reported: %q", got)
+	got, err := Heatmap(mesh, []network.Time{1})
+	if err == nil {
+		t.Fatalf("mismatch not reported, rendered %q", got)
+	}
+	if got != "" {
+		t.Errorf("error case still returned a grid: %q", got)
+	}
+	if !strings.Contains(err.Error(), "viz:") {
+		t.Errorf("error missing viz: prefix: %v", err)
 	}
 }
 
@@ -77,7 +87,10 @@ func TestTwoStepHotspotVisible(t *testing.T) {
 		}
 	}
 	// The heatmap must render without error and show node 0 hot.
-	heat := Heatmap(mesh, nw.NodeLoad())
+	heat, err := Heatmap(mesh, nw.NodeLoad())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if heat[0] == ' ' {
 		t.Errorf("P0 cold in heatmap:\n%s", heat)
 	}
@@ -94,11 +107,17 @@ func seq(start, n int) []int {
 func TestHeatmapWithSharedScale(t *testing.T) {
 	mesh := topology.MustMesh2D(1, 2)
 	// Under a shared large max, moderate loads render low on the ramp.
-	got := HeatmapWithMax(mesh, []network.Time{10, 50}, 100)
+	got, err := HeatmapWithMax(mesh, []network.Time{10, 50}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got[1] == '@' {
 		t.Fatalf("half-load rendered as max: %q", got)
 	}
-	own := Heatmap(mesh, []network.Time{10, 50})
+	own, err := Heatmap(mesh, []network.Time{10, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if own[1] != '@' {
 		t.Fatalf("own-scale max not '@': %q", own)
 	}

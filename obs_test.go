@@ -1,0 +1,108 @@
+package stpbcast_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	stpbcast "repro"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// kindSeq extracts each rank's ordered event sequence, keeping only the
+// kinds every engine emits identically: send, recv and barrier follow the
+// algorithm's program order on all engines, while wait is timing-dependent
+// and combine exists only under the simulator's virtual clock.
+func kindSeq(events []obs.Event, p int) [][]string {
+	out := make([][]string, p)
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindSend, obs.KindRecv:
+			out[e.Rank] = append(out[e.Rank], fmt.Sprintf("%s:%d", e.Kind, e.Peer))
+		case obs.KindBarrier:
+			out[e.Rank] = append(out[e.Rank], "barrier")
+		}
+	}
+	return out
+}
+
+// TestCrossEngineEventSequence runs one algorithm on the simulator, the
+// live goroutine engine and the TCP engine, and asserts all three trace
+// the same per-rank sequence of communication events — the unified event
+// model's core invariant.
+func TestCrossEngineEventSequence(t *testing.T) {
+	m := stpbcast.NewParagon(2, 2)
+	cfg := stpbcast.Config{Algorithm: "Br_Lin", Distribution: "E", Sources: 2, MsgBytes: 64}
+	payload := func(rank int) []byte { return bytes.Repeat([]byte{byte(rank)}, 64) }
+
+	simRec := trace.NewRecorder(0)
+	if _, err := stpbcast.SimulateInto(m, cfg, simRec); err != nil {
+		t.Fatal(err)
+	}
+	simSeq := kindSeq(simRec.Events, m.P())
+
+	for _, engine := range []string{"live", "tcp"} {
+		rec := trace.NewRecorder(0)
+		opts := stpbcast.RunOptions{Trace: rec, RecvTimeout: 10 * time.Second}
+		var err error
+		if engine == "live" {
+			_, err = stpbcast.RunLiveOpts(m, cfg, payload, opts)
+		} else {
+			_, err = stpbcast.RunTCPOpts(m, cfg, payload, opts)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		seq := kindSeq(rec.Events, m.P())
+		for r := range simSeq {
+			if !reflect.DeepEqual(simSeq[r], seq[r]) {
+				t.Errorf("rank %d: sim traced %v, %s traced %v", r, simSeq[r], engine, seq[r])
+			}
+		}
+		// Wall clocks must be stamped and non-decreasing per rank.
+		if !obs.HasWall(rec.Events) {
+			t.Errorf("%s: no wall-clock timestamps", engine)
+		}
+	}
+}
+
+// TestTraceFaultsInStream asserts injected faults land in the same event
+// stream as traffic, tagged with the fault kind.
+func TestTraceFaultsInStream(t *testing.T) {
+	m := stpbcast.NewParagon(2, 2)
+	cfg := stpbcast.Config{Algorithm: "Br_Lin", Distribution: "E", Sources: 2, MsgBytes: 64}
+	payload := func(rank int) []byte { return bytes.Repeat([]byte{byte(rank)}, 64) }
+	rec := trace.NewRecorder(0)
+	plan := stpbcast.FaultPlan{
+		Faults: []stpbcast.Fault{{Kind: stpbcast.FaultDuplicate, Src: 0, Dst: 1, Msg: 0}},
+	}
+	res, err := stpbcast.RunLiveOpts(m, cfg, payload, stpbcast.RunOptions{
+		Trace:       rec,
+		Faults:      &plan,
+		RecvTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Faults) == 0 {
+		t.Fatal("fault plan injected nothing")
+	}
+	if got := rec.Count(obs.KindFault); got != len(res.Faults) {
+		t.Fatalf("stream has %d fault events, injector reports %d", got, len(res.Faults))
+	}
+	found := false
+	for _, e := range rec.Events {
+		if e.Kind == obs.KindFault {
+			if e.Fault != "duplicate" || e.Rank != 0 || e.Peer != 1 {
+				t.Fatalf("fault event mis-tagged: %+v", e)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no fault event in stream")
+	}
+}

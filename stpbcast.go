@@ -275,6 +275,13 @@ func SimulateTraced(m *Machine, cfg Config, cap int) (*SimResult, error) {
 	return simulate(m, cfg, rec, nil)
 }
 
+// SimulateInto is Simulate with event recording into a caller-provided
+// recorder — use trace.NewRecorder to cap retention, and the recorder's
+// WriteJSON/WriteChrome to export the stream afterwards.
+func SimulateInto(m *Machine, cfg Config, rec *trace.Recorder) (*SimResult, error) {
+	return simulate(m, cfg, rec, nil)
+}
+
 func simulate(m *Machine, cfg Config, rec *trace.Recorder, alg Algorithm) (*SimResult, error) {
 	spec, err := cfg.spec(m)
 	if err != nil {
@@ -388,6 +395,11 @@ type RunOptions struct {
 	// kill, so induced hangs abort with a diagnostic instead of
 	// blocking forever.
 	Faults *FaultPlan
+	// Trace, when non-nil, records the engine's unified event stream —
+	// every send, recv, wait and barrier, plus any injected faults —
+	// with wall-clock timestamps. The recorder is concurrency-safe, so
+	// one recorder sees all ranks. Leave nil for zero tracing overhead.
+	Trace *trace.Recorder
 	// DialAttempts/DialBackoff tune the TCP engine's connection-setup
 	// retry (ignored by the live engine); zero means the defaults.
 	DialAttempts int
@@ -456,11 +468,18 @@ func RunLiveOpts(m *Machine, cfg Config, payload func(rank int) []byte, opts Run
 	if err != nil {
 		return nil, err
 	}
-	res, err := live.RunOpts(m.P(), live.Options{
+	lopts := live.Options{
 		Context:     opts.Context,
 		RunTimeout:  opts.RunTimeout,
 		RecvTimeout: opts.RecvTimeout,
-	}, func(pr *live.Proc) { body(pr) })
+	}
+	if opts.Trace != nil {
+		lopts.Tracer = opts.Trace
+		if inj != nil {
+			inj.SetTracer(opts.Trace, time.Now())
+		}
+	}
+	res, err := live.RunOpts(m.P(), lopts, func(pr *live.Proc) { body(pr) })
 	if err != nil {
 		return nil, err
 	}
@@ -486,13 +505,20 @@ func RunTCPOpts(m *Machine, cfg Config, payload func(rank int) []byte, opts RunO
 	if err != nil {
 		return nil, err
 	}
-	res, err := tcp.RunOpts(m.P(), tcp.Options{
+	topts := tcp.Options{
 		Context:      opts.Context,
 		RunTimeout:   opts.RunTimeout,
 		RecvTimeout:  opts.RecvTimeout,
 		DialAttempts: opts.DialAttempts,
 		DialBackoff:  opts.DialBackoff,
-	}, func(pr *tcp.Proc) { body(pr) })
+	}
+	if opts.Trace != nil {
+		topts.Tracer = opts.Trace
+		if inj != nil {
+			inj.SetTracer(opts.Trace, time.Now())
+		}
+	}
+	res, err := tcp.RunOpts(m.P(), topts, func(pr *tcp.Proc) { body(pr) })
 	if err != nil {
 		return nil, err
 	}
