@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test race chaos fuzz-seeds bench bench-baseline bench-all trace-smoke ci
+.PHONY: all fmt vet build test race chaos fuzz-seeds bench bench-baseline bench-all trace-smoke api api-check ci
 
 all: ci
 
@@ -68,4 +68,15 @@ trace-smoke:
 	$(GO) run ./cmd/stptrace -validate .trace-smoke/*.json .trace-smoke/*.jsonl
 	@rm -rf .trace-smoke
 
-ci: fmt vet build race fuzz-seeds trace-smoke
+# Golden public-API surface of the facade package. `make api` refreshes
+# the committed file after an intentional API change; `make api-check`
+# (run by CI) fails when the tree and api/stpbcast.txt disagree, so the
+# public surface can only change with an explicit, reviewed diff.
+api:
+	@mkdir -p api
+	$(GO) run ./cmd/stpapi -dir . > api/stpbcast.txt
+
+api-check:
+	$(GO) run ./cmd/stpapi -dir . -check api/stpbcast.txt
+
+ci: fmt vet build race fuzz-seeds trace-smoke api-check

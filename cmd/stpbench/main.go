@@ -10,6 +10,7 @@
 //	stpbench -fig fig6 -csv      # machine-readable output
 //	stpbench -chaos              # fault-injection sweep over both engines
 //	stpbench -chaos -seed 7 -engine tcp
+//	stpbench -session -repeat 200 -engine tcp   # warm-session vs one-shot throughput
 package main
 
 import (
@@ -32,11 +33,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "chaos schedule seed (same seed = same fault schedule)")
 	engine := flag.String("engine", "both", "chaos engine: live, tcp or both")
 	parallel := flag.Int("parallel", 0, "max concurrent experiment cells (0 = GOMAXPROCS, 1 = serial); output is identical at every setting")
+	session := flag.Bool("session", false, "time -repeat back-to-back broadcasts over one warm Session vs the one-shot path")
+	repeat := flag.Int("repeat", 100, "broadcast count for -session")
 	flag.Parse()
 
 	stpbcast.SetParallelism(*parallel)
 
 	switch {
+	case *session:
+		if err := runSession(*engine, *repeat); err != nil {
+			fatal(err)
+		}
 	case *chaos:
 		if err := runChaos(*seed, *engine); err != nil {
 			fatal(err)
@@ -99,6 +106,64 @@ func printCSV(s *stpbcast.Series) {
 		}
 		fmt.Println(strings.Join(row, ","))
 	}
+}
+
+// runSession times n back-to-back 1 KiB broadcasts on a 4×4 mesh twice:
+// once paying full engine setup per broadcast (the deprecated one-shot
+// path), once over a single warm Session — and prints both rates, the
+// speedup and the session's aggregate stats.
+func runSession(engine string, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("-repeat must be positive, got %d", n)
+	}
+	engines := []stpbcast.Engine{stpbcast.EngineLive, stpbcast.EngineTCP}
+	switch engine {
+	case "both":
+	case "sim":
+		engines = []stpbcast.Engine{stpbcast.EngineSim}
+	case "live":
+		engines = []stpbcast.Engine{stpbcast.EngineLive}
+	case "tcp":
+		engines = []stpbcast.Engine{stpbcast.EngineTCP}
+	default:
+		return fmt.Errorf("unknown engine %q (want sim, live, tcp or both)", engine)
+	}
+	m := stpbcast.NewParagon(4, 4)
+	cfg := stpbcast.Config{Algorithm: "Br_Lin", Distribution: "E", Sources: 4, MsgBytes: 1024}
+	opts := stpbcast.RunOptions{RecvTimeout: 30 * time.Second}
+	fmt.Printf("session demo: %d × %d B Br_Lin broadcasts, 4×4 mesh, E s=%d\n", n, cfg.MsgBytes, cfg.Sources)
+	for _, eng := range engines {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := stpbcast.Run(m, eng, cfg, opts); err != nil {
+				return fmt.Errorf("%s one-shot run %d: %w", eng, i, err)
+			}
+		}
+		oneShot := time.Since(start)
+
+		start = time.Now()
+		s, err := stpbcast.Open(m, eng, stpbcast.SessionOptions{})
+		if err != nil {
+			return fmt.Errorf("%s open: %w", eng, err)
+		}
+		for i := 0; i < n; i++ {
+			if _, err := s.Run(cfg, opts); err != nil {
+				s.Close()
+				return fmt.Errorf("%s session run %d: %w", eng, i, err)
+			}
+		}
+		stats, err := s.Close()
+		if err != nil {
+			return fmt.Errorf("%s close: %w", eng, err)
+		}
+		warm := time.Since(start)
+
+		osRate := float64(n) / oneShot.Seconds()
+		wRate := float64(n) / warm.Seconds()
+		fmt.Printf("%-5s one-shot %8.1f bcasts/s   session %8.1f bcasts/s   speedup %5.2fx   (runs %d, %d B sent, %d reconnects)\n",
+			eng, osRate, wRate, wRate/osRate, stats.Runs, stats.Bytes, stats.Reconnects)
+	}
+	return nil
 }
 
 // chaosScenario is one fault plan plus the invariant it must satisfy:

@@ -71,6 +71,61 @@ func ExampleDistributionByName() {
 	// [0 5 10 15]
 }
 
+// ExampleNewTraceRecorder records the unified event stream of a
+// simulated broadcast and inspects it through the public facade only:
+// the recorder's Events, per-kind counts and drop accounting.
+func ExampleNewTraceRecorder() {
+	m := stpbcast.NewParagon(4, 4)
+	rec := stpbcast.NewTraceRecorder(0) // 0 = unbounded retention
+	res, err := stpbcast.Run(m, stpbcast.EngineSim, stpbcast.Config{
+		Algorithm:    "Br_Lin",
+		Distribution: "E",
+		Sources:      4,
+		MsgBytes:     256,
+	}, stpbcast.RunOptions{Trace: rec})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var first stpbcast.TraceEvent = rec.Events[0]
+	fmt.Printf("result echoes recorder: %v\n", res.Trace == rec)
+	fmt.Printf("first event kind: %s\n", first.Kind)
+	fmt.Printf("sends: %d recvs: %d\n", rec.Count("send"), rec.Count("recv"))
+	fmt.Printf("dropped: %d\n", rec.Dropped())
+	// Output:
+	// result echoes recorder: true
+	// first event kind: barrier
+	// sends: 32 recvs: 32
+	// dropped: 0
+}
+
+// ExampleOpen amortizes engine setup across back-to-back broadcasts: a
+// Session stands the engine up once and every Run reuses it.
+func ExampleOpen() {
+	m := stpbcast.NewParagon(4, 4)
+	s, err := stpbcast.Open(m, stpbcast.EngineLive, stpbcast.SessionOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cfg := stpbcast.Config{Algorithm: "Br_Lin", Distribution: "Dr", Sources: 4, MsgBytes: 32}
+	for i := 0; i < 3; i++ {
+		res, err := s.Run(cfg, stpbcast.RunOptions{})
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("run %d delivered %d bundles\n", i, len(res.Bundles))
+	}
+	stats, _ := s.Close()
+	fmt.Printf("runs: %d failures: %d\n", stats.Runs, stats.Failures)
+	// Output:
+	// run 0 delivered 16 bundles
+	// run 1 delivered 16 bundles
+	// run 2 delivered 16 bundles
+	// runs: 3 failures: 0
+}
+
 func maxOf(v []int) int {
 	m := 0
 	for _, x := range v {

@@ -42,7 +42,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"ablation-varlen",
 		"fig10", "fig11a", "fig11b", "fig12", "fig13a", "fig13b",
 		"fig2", "fig2-growth", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-		"figAuto",
+		"figAuto", "figSession",
 	}
 	got := Experiments()
 	if len(got) != len(want) {
@@ -459,6 +459,30 @@ func TestFigAutoShape(t *testing.T) {
 	}
 	if worst < 1.3 {
 		t.Errorf("Repos_xy_source never worse than 1.3× best (max ratio %.2f) — grid too easy", worst)
+	}
+}
+
+// TestFigSessionShape — the session acceptance bar: a warm TCP mesh
+// runs the 100-broadcast workload at least 3× the throughput of paying
+// full engine setup per broadcast. Wall-clock based, but the margin is
+// structural (a per-run O(p²) dial mesh vs none), not a timing nicety.
+func TestFigSessionShape(t *testing.T) {
+	s := figures(t)["figSession"]
+	if got := len(s.XLabels); got == 0 {
+		t.Fatal("figSession produced no checkpoints")
+	}
+	for i, x := range s.XLabels {
+		os, ws := s.Get("one-shot", i), s.Get("session", i)
+		if os <= 0 || ws <= 0 {
+			t.Fatalf("runs=%s: non-positive throughput (one-shot %.1f, session %.1f)", x, os, ws)
+		}
+		if ratio := s.Get("speedup", i); ratio != ws/os {
+			t.Errorf("runs=%s: speedup curve %.3f != session/one-shot %.3f", x, ratio, ws/os)
+		}
+	}
+	if final := last(s, "speedup"); final < 3 {
+		t.Errorf("session speedup at %s runs = %.2f×, want ≥ 3×",
+			s.XLabels[len(s.XLabels)-1], final)
 	}
 }
 

@@ -51,5 +51,16 @@ func (q *Queue) Pop() Message {
 	return m
 }
 
+// Reset empties the queue, zeroing every occupied slot so retained
+// payloads become collectable, while keeping the backing array for
+// reuse. The long-lived engine sessions call it between runs so a frame
+// left over from an aborted run can never be delivered to the next one.
+func (q *Queue) Reset() {
+	for i := 0; i < q.n; i++ {
+		q.buf[(q.head+i)&(len(q.buf)-1)] = Message{}
+	}
+	q.head, q.n = 0, 0
+}
+
 // Cap returns the current backing-array capacity (for retention tests).
 func (q *Queue) Cap() int { return len(q.buf) }

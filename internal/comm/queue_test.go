@@ -68,6 +68,40 @@ func TestQueueBoundedByHighWaterMark(t *testing.T) {
 	}
 }
 
+// TestQueueResetDropsAndZeroes: Reset must empty the queue, zero the
+// occupied slots (payload release) and keep the ring for reuse, even
+// with the occupied region wrapped around the array end.
+func TestQueueResetDropsAndZeroes(t *testing.T) {
+	var q Queue
+	for i := 0; i < 6; i++ {
+		q.Push(Message{Parts: []Part{{Origin: i, Data: make([]byte, 64)}}})
+	}
+	for i := 0; i < 5; i++ {
+		q.Pop()
+	}
+	for i := 0; i < 6; i++ { // head is now mid-ring; wrap the tail past the end
+		q.Push(Message{Parts: []Part{{Origin: 10 + i, Data: make([]byte, 64)}}})
+	}
+	cap0 := q.Cap()
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after Reset", q.Len())
+	}
+	if q.Cap() != cap0 {
+		t.Fatalf("Reset changed capacity: %d -> %d", cap0, q.Cap())
+	}
+	for i := 0; i < q.Cap(); i++ {
+		if q.buf[i].Parts != nil {
+			t.Errorf("slot %d still references a message after Reset", i)
+		}
+	}
+	// The ring must remain usable after Reset.
+	q.Push(Message{Tag: 42})
+	if got := q.Pop().Tag; got != 42 {
+		t.Fatalf("post-Reset Pop = %d, want 42", got)
+	}
+}
+
 func TestQueuePopEmptyPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -11,6 +11,15 @@
 // corrupt a message in flight — matching the buffered semantics of NX
 // csend that the algorithms assume.
 //
+// # Sessions
+//
+// NewMachine builds the mailboxes and barrier once; Machine.Run executes
+// one algorithm over them and may be called many times back to back,
+// each run starting from wiped mailboxes, a reset barrier and a cleared
+// abort latch — so an aborted run cannot leak messages, barrier tokens
+// or its failure into the next one. Run/RunOpts remain as one-shot
+// open-run-close wrappers.
+//
 // # Failure semantics
 //
 // A run fails in one of three ways, and in every case Run returns an
@@ -29,6 +38,7 @@ package live
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -120,6 +130,16 @@ func (b *barrier) wait(rank int, stall time.Duration) {
 	if gen == b.gen { // woken by abort, not by release
 		panic(errAbort{cause: "barrier"})
 	}
+}
+
+// reset rearms the barrier for a new run. An aborted or deadline-panicked
+// waiter leaves count incremented without ever releasing, so the count
+// must be zeroed (and the generation bumped) between runs.
+func (b *barrier) reset() {
+	b.mu.Lock()
+	b.count = 0
+	b.gen++
+	b.mu.Unlock()
 }
 
 // ProcStats counts one processor's operations during a run.
@@ -337,24 +357,23 @@ func (p *Proc) Barrier() {
 	}
 }
 
-// Run executes fn concurrently on p processors and returns operation
-// counts. If any processor panics, the machine aborts: every processor
-// blocked in Recv or Barrier is unwound, and Run returns the first
-// processor's error (by rank). Run applies no deadlines; see RunOpts.
-func Run(p int, fn func(*Proc)) (*Result, error) {
-	return RunOpts(p, Options{}, fn)
+// Machine is a persistent live machine: the mailboxes and barrier are
+// built once by NewMachine and reused by every Run, each run starting
+// from a wiped, rearmed state. Run and Close serialize; a Machine
+// supports one run at a time.
+type Machine struct {
+	mu     sync.Mutex // serializes Run and Close
+	m      *machine
+	closed bool
 }
 
-// RunOpts is Run with deadlines and cancellation (see Options). Every
-// failure mode — a panicking rank, a Recv or Barrier wait past
-// RecvTimeout, context cancellation, the whole run past RunTimeout —
-// unwinds all processors and returns an error; RunOpts never hangs on a
-// dead or stuck rank when a deadline is configured.
-func RunOpts(p int, opts Options, fn func(*Proc)) (*Result, error) {
+// NewMachine builds the mailboxes and cyclic barrier for p processors.
+// The caller owns the machine and should Close it when done.
+func NewMachine(p int) (*Machine, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("live: non-positive processor count %d", p)
 	}
-	m := &machine{size: p, inboxes: make([]*inbox, p), recvTimeout: opts.RecvTimeout, tr: opts.Tracer}
+	m := &machine{size: p, inboxes: make([]*inbox, p)}
 	for i := range m.inboxes {
 		ib := &inbox{boxes: make([]comm.Queue, p)}
 		ib.cond = sync.NewCond(&ib.mu)
@@ -362,6 +381,52 @@ func RunOpts(p int, opts Options, fn func(*Proc)) (*Result, error) {
 	}
 	m.bar = &barrier{size: p, aborted: &m.aborted}
 	m.bar.cond = sync.NewCond(&m.bar.mu)
+	return &Machine{m: m}, nil
+}
+
+// Size returns the processor count the machine was built for.
+func (mc *Machine) Size() int { return mc.m.size }
+
+// Close releases the machine. It is idempotent; a run must not be in
+// flight.
+func (mc *Machine) Close() error {
+	mc.mu.Lock()
+	mc.closed = true
+	mc.mu.Unlock()
+	return nil
+}
+
+// Run executes fn on every processor over the warm mailboxes. Only the
+// run fields of opts are consumed afresh on every call (Context,
+// RunTimeout, RecvTimeout, Tracer). An aborted run leaves the machine
+// usable: the next Run starts from wiped mailboxes, a reset barrier and
+// a cleared abort latch.
+func (mc *Machine) Run(opts Options, fn func(*Proc)) (*Result, error) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mc.closed {
+		return nil, errors.New("live: Run on closed machine")
+	}
+	m := mc.m
+	p := m.size
+	// Rearm for this run: wipe every mailbox (slots zeroed so a previous
+	// run's undelivered payloads become collectable and can never be
+	// received here), reset the barrier, clear the abort latch, and
+	// attach this run's deadline and tracer.
+	for _, ib := range m.inboxes {
+		ib.mu.Lock()
+		for i := range ib.boxes {
+			ib.boxes[i].Reset()
+		}
+		ib.mu.Unlock()
+	}
+	m.bar.reset()
+	m.abortMu.Lock()
+	m.abortCause = nil
+	m.abortMu.Unlock()
+	m.aborted.Store(false)
+	m.recvTimeout = opts.RecvTimeout
+	m.tr = opts.Tracer
 
 	// External abort sources: context cancellation and the whole-run
 	// deadline. The watcher exits when the run completes.
@@ -445,4 +510,27 @@ func RunOpts(p int, opts Options, fn func(*Proc)) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// Run executes fn concurrently on p processors and returns operation
+// counts. If any processor panics, the machine aborts: every processor
+// blocked in Recv or Barrier is unwound, and Run returns the first
+// processor's error (by rank). Run applies no deadlines; see RunOpts.
+func Run(p int, fn func(*Proc)) (*Result, error) {
+	return RunOpts(p, Options{}, fn)
+}
+
+// RunOpts is Run with deadlines and cancellation (see Options). Every
+// failure mode — a panicking rank, a Recv or Barrier wait past
+// RecvTimeout, context cancellation, the whole run past RunTimeout —
+// unwinds all processors and returns an error; RunOpts never hangs on a
+// dead or stuck rank when a deadline is configured. It is the one-shot
+// open-run-close wrapper over NewMachine/Machine.Run/Machine.Close.
+func RunOpts(p int, opts Options, fn func(*Proc)) (*Result, error) {
+	mc, err := NewMachine(p)
+	if err != nil {
+		return nil, err
+	}
+	defer mc.Close()
+	return mc.Run(opts, fn)
 }

@@ -11,31 +11,31 @@ import (
 // either return a valid message or an error, never panic or over-allocate.
 func FuzzFrameDecode(f *testing.F) {
 	var seed bytes.Buffer
-	_ = writeFrame(&seed, comm.Message{Tag: 1, Parts: []comm.Part{{Origin: 2, Data: []byte("ab")}}})
+	_ = writeFrame(&seed, 1, comm.Message{Tag: 1, Parts: []comm.Part{{Origin: 2, Data: []byte("ab")}}})
 	f.Add(seed.Bytes())
 	f.Add([]byte{})
-	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(bytes.Repeat([]byte{0xFF}, 12))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		_, _ = readFrame(bytes.NewReader(data))
+		_, _, _ = readFrame(bytes.NewReader(data))
 	})
 }
 
 // FuzzFrameRoundTrip encodes fuzz-built messages and decodes them back.
 func FuzzFrameRoundTrip(f *testing.F) {
-	f.Add(0, 3, []byte("payload"))
-	f.Add(-5, 0, []byte{})
-	f.Fuzz(func(t *testing.T, tag, origin int, data []byte) {
+	f.Add(0, 3, uint32(0), []byte("payload"))
+	f.Add(-5, 0, uint32(7), []byte{})
+	f.Fuzz(func(t *testing.T, tag, origin int, epoch uint32, data []byte) {
 		m := comm.Message{Tag: tag, Parts: []comm.Part{{Origin: origin, Data: data}}}
 		var buf bytes.Buffer
-		if err := writeFrame(&buf, m); err != nil {
+		if err := writeFrame(&buf, epoch, m); err != nil {
 			t.Fatal(err)
 		}
-		got, err := readFrame(&buf)
+		got, gotEpoch, err := readFrame(&buf)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got.Tag != tag || got.Parts[0].Origin != origin || !bytes.Equal(got.Parts[0].Data, data) {
-			t.Fatalf("round trip mismatch: %+v", got)
+		if got.Tag != tag || gotEpoch != epoch || got.Parts[0].Origin != origin || !bytes.Equal(got.Parts[0].Data, data) {
+			t.Fatalf("round trip mismatch: %+v (epoch %d)", got, gotEpoch)
 		}
 	})
 }

@@ -1,0 +1,182 @@
+package tcp
+
+import (
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// TestMachineBackToBackRuns reuses one mesh for many broadcasts: every
+// run must complete correctly and the machine must report no rebuilds.
+func TestMachineBackToBackRuns(t *testing.T) {
+	const p, runs = 4, 20
+	m, err := NewMachine(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for r := 0; r < runs; r++ {
+		res, err := m.Run(Options{RecvTimeout: 5 * time.Second}, func(pr *Proc) {
+			next, prev := (pr.Rank()+1)%p, (pr.Rank()+p-1)%p
+			pr.Send(next, comm.Message{Tag: r, Parts: []comm.Part{{Origin: pr.Rank(), Data: []byte{byte(r)}}}})
+			got := pr.Recv(prev)
+			if got.Tag != r || got.Parts[0].Data[0] != byte(r) {
+				t.Errorf("run %d rank %d: got %+v", r, pr.Rank(), got)
+			}
+			pr.Barrier()
+		})
+		if err != nil {
+			t.Fatalf("run %d: %v", r, err)
+		}
+		if res.Procs[0].Sends != 1 || res.Procs[0].BarrierSends == 0 {
+			t.Fatalf("run %d stats not per-run: %+v", r, res.Procs[0])
+		}
+	}
+	if n := m.Reconnects(); n != 0 {
+		t.Fatalf("healthy session rebuilt the mesh %d times", n)
+	}
+}
+
+// TestMachineRunsDoNotBleedFrames sends an extra frame nobody receives
+// in run 1; run 2 must not see it — a Recv from the same peer must time
+// out rather than deliver the stale frame. This is the epoch-isolation
+// regression test.
+func TestMachineRunsDoNotBleedFrames(t *testing.T) {
+	m, err := NewMachine(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Run(Options{RecvTimeout: 5 * time.Second}, func(pr *Proc) {
+		if pr.Rank() == 0 {
+			pr.Send(1, comm.Message{Tag: 1, Parts: []comm.Part{{Origin: 0, Data: []byte("wanted")}}})
+			pr.Send(1, comm.Message{Tag: 2, Parts: []comm.Part{{Origin: 0, Data: []byte("orphan")}}})
+		} else {
+			pr.Recv(0) // consumes "wanted"; "orphan" is left in flight
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run(Options{RecvTimeout: 200 * time.Millisecond}, func(pr *Proc) {
+		if pr.Rank() == 1 {
+			m := pr.Recv(0) // nothing is sent this run
+			t.Errorf("stale frame bled into the next run: %+v", m)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("want a clean receive deadline, got %v", err)
+	}
+}
+
+// TestMachineReconnectsAfterAbort panics a rank (which tears the mesh
+// down), then runs again on the same machine: the next Run must rebuild
+// the mesh transparently and succeed, counting one reconnect.
+func TestMachineReconnectsAfterAbort(t *testing.T) {
+	const p = 4
+	m, err := NewMachine(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	_, err = m.Run(Options{RecvTimeout: 5 * time.Second}, func(pr *Proc) {
+		if pr.Rank() == 2 {
+			panic("rank 2 killed")
+		}
+		pr.Recv(2)
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 2 killed") {
+		t.Fatalf("abort misreported: %v", err)
+	}
+	for r := 0; r < 3; r++ {
+		if _, err := m.Run(Options{RecvTimeout: 5 * time.Second}, func(pr *Proc) {
+			pr.Barrier()
+			pr.Send((pr.Rank()+1)%p, comm.Message{Tag: r, Parts: []comm.Part{{Origin: pr.Rank()}}})
+			pr.Recv((pr.Rank() + p - 1) % p)
+		}); err != nil {
+			t.Fatalf("post-abort run %d failed: %v", r, err)
+		}
+	}
+	if n := m.Reconnects(); n != 1 {
+		t.Fatalf("reconnects = %d, want 1 (one abort, then healthy runs)", n)
+	}
+}
+
+// TestMachineReconnectsAfterMidRunConnectionKill cuts a socket mid-run
+// (the serving-workload failure mode): the run must fail naming the
+// transport, and the next run over the same machine must succeed after a
+// mesh rebuild.
+func TestMachineReconnectsAfterMidRunConnectionKill(t *testing.T) {
+	var mu sync.Mutex
+	var conns []net.Conn
+	grabDial := func(addr string) (net.Conn, error) {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+		}
+		return c, err
+	}
+	m, err := NewMachine(2, Options{Dial: grabDial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	release := make(chan struct{})
+	_, err = m.Run(Options{RecvTimeout: 5 * time.Second}, func(pr *Proc) {
+		if pr.Rank() == 0 {
+			<-release
+			pr.Recv(1)
+		} else {
+			mu.Lock()
+			for _, c := range conns {
+				c.Close()
+			}
+			mu.Unlock()
+			close(release)
+			pr.Recv(0)
+		}
+	})
+	if err == nil {
+		t.Fatal("mid-run connection kill not reported")
+	}
+	if _, err := m.Run(Options{RecvTimeout: 5 * time.Second}, func(pr *Proc) {
+		pr.Send(1-pr.Rank(), comm.Message{Parts: []comm.Part{{Origin: pr.Rank(), Data: []byte("alive")}}})
+		if got := pr.Recv(1 - pr.Rank()); string(got.Parts[0].Data) != "alive" {
+			t.Errorf("rank %d after reconnect: %+v", pr.Rank(), got)
+		}
+	}); err != nil {
+		t.Fatalf("run after mid-run kill failed: %v", err)
+	}
+	if n := m.Reconnects(); n != 1 {
+		t.Fatalf("reconnects = %d, want 1", n)
+	}
+}
+
+// TestMachineCloseJoinsPumps: after Close, every reader pump and rank
+// goroutine must be gone; Run on a closed machine errors.
+func TestMachineCloseJoinsPumps(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	m, err := NewMachine(4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(Options{}, func(pr *Proc) { pr.Barrier() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := m.Run(Options{}, func(*Proc) {}); err == nil {
+		t.Fatal("Run on closed machine accepted")
+	}
+	waitGoroutinesSettle(t, baseline)
+}

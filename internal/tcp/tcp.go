@@ -11,21 +11,43 @@
 // per (sender, receiver) pair, and a Barrier (dissemination barrier over
 // the same transport). Barrier frames travel on the same sockets but are
 // demultiplexed by tag and metered separately, so ProcStats counts agree
-// with the live engine for the same algorithm. Run sets the machine up,
-// executes the algorithm on every processor, and tears all connections
-// down.
+// with the live engine for the same algorithm.
+//
+// # Sessions
+//
+// Building the machine is expensive — p listeners, an O(p²) dialed mesh
+// with handshakes and retry, and one reader pump per connection end — so
+// the engine separates setup from execution. NewMachine stands the mesh
+// up once; Machine.Run executes one algorithm over the warm connections
+// and may be called many times back to back; Machine.Close tears
+// everything down. Run/RunOpts remain as one-shot open-run-close
+// wrappers, preserving the historical API.
+//
+// Run isolation is by epoch: every frame carries the epoch of the run
+// that sent it, the reader pumps discard frames whose epoch is not the
+// current run's (or that arrive between runs), and each run starts from
+// mailboxes wiped of the previous run's leftovers. A broadcast that
+// aborts — panic, injected kill, deadline — can therefore never leak a
+// frame, a poisoned mailbox, or a stale barrier token into the next run.
+//
+// An abort closes the mesh; the session survives it. The next Run
+// notices the damage, joins the orphaned reader pumps, and redials the
+// full mesh over the still-open listeners (counted in Reconnects), so a
+// killed connection costs one failed run plus one reconnect, not the
+// session.
 //
 // # Failure semantics
 //
 // Run never hangs when a deadline is configured; every failure becomes a
 // returned error:
 //
-//   - A processor panics: the machine aborts, all connections are closed,
+//   - A processor panics: the run aborts, all connections are closed,
 //     every peer blocked in Recv or Barrier unwinds, and Run reports the
 //     panicking rank as the root cause.
 //   - A connection fails mid-run: the affected receiver reports the
 //     broken link as the root cause; everyone else unwinds. A connection
-//     closing during post-run teardown is not an error.
+//     closing during teardown (Close) or between runs is not an error —
+//     the next Run rebuilds the mesh.
 //   - A blocking Recv or Barrier wait exceeds Options.RecvTimeout: the
 //     stalled rank aborts the run with an error naming itself and the
 //     awaited peer.
@@ -52,9 +74,10 @@ import (
 	"repro/internal/obs"
 )
 
-// frame layout: [tag int32][nparts int32] then per part
+// frame layout: [epoch uint32][tag int32][nparts int32] then per part
 // [origin int32][len int32][payload]. The sender is identified by the
-// connection; a per-frame magic is unnecessary on an owned socket.
+// connection; the epoch identifies the run, so a frame from an aborted
+// or slow previous run is recognizably stale and dropped by the pumps.
 
 const (
 	// barrierTag marks dissemination-barrier frames. The value is
@@ -75,6 +98,13 @@ const (
 
 // Options harden a run. The zero value preserves the historical
 // behaviour (no deadlines, no cancellation, default dial retry).
+//
+// With the session API the fields split by lifetime: NewMachine consumes
+// the setup fields (Dial, DialAttempts, DialBackoff) and remembers them
+// for mesh rebuilds; Machine.Run consumes the run fields (Context,
+// RunTimeout, RecvTimeout, Tracer) afresh on every call, so successive
+// runs over one machine can use different deadlines and tracers. The
+// one-shot RunOpts passes the same Options to both.
 type Options struct {
 	// Context, when non-nil, cancels the run (setup backoff waits and
 	// the algorithm phase): blocked processors unwind and Run returns
@@ -97,12 +127,12 @@ type Options struct {
 	Dial func(addr string) (net.Conn, error)
 	// Tracer, when non-nil, receives an obs.Event for every send, recv,
 	// wait (a receive that had to block) and barrier, stamped with
-	// wall-clock nanoseconds since machine setup completed. The reader
-	// pumps additionally stamp each data frame's arrival instant, so a
-	// traced Recv carries Arrival — the time the frame reached this
-	// rank's inbox — separating network latency from receiver lag.
-	// Events arrive from all rank goroutines concurrently; the tracer
-	// must be safe for concurrent use (trace.Recorder is).
+	// wall-clock nanoseconds since the run started. The reader pumps
+	// additionally stamp each data frame's arrival instant, so a traced
+	// Recv carries Arrival — the time the frame reached this rank's
+	// inbox — separating network latency from receiver lag. Events
+	// arrive from all rank goroutines concurrently; the tracer must be
+	// safe for concurrent use (trace.Recorder is).
 	Tracer obs.Tracer
 }
 
@@ -117,10 +147,11 @@ type abortError struct {
 func (e *abortError) Error() string { return e.cause.Error() }
 func (e *abortError) Unwrap() error { return e.cause }
 
-func writeFrame(w io.Writer, m comm.Message) error {
-	hdr := make([]byte, 8)
-	binary.BigEndian.PutUint32(hdr[0:], uint32(int32(m.Tag)))
-	binary.BigEndian.PutUint32(hdr[4:], uint32(int32(len(m.Parts))))
+func writeFrame(w io.Writer, epoch uint32, m comm.Message) error {
+	hdr := make([]byte, 12)
+	binary.BigEndian.PutUint32(hdr[0:], epoch)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(int32(m.Tag)))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(int32(len(m.Parts))))
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
@@ -138,40 +169,68 @@ func writeFrame(w io.Writer, m comm.Message) error {
 	return nil
 }
 
-func readFrame(r io.Reader) (comm.Message, error) {
-	hdr := make([]byte, 8)
+func readFrame(r io.Reader) (comm.Message, uint32, error) {
+	hdr := make([]byte, 12)
 	if _, err := io.ReadFull(r, hdr); err != nil {
-		return comm.Message{}, err
+		return comm.Message{}, 0, err
 	}
-	tag := int(int32(binary.BigEndian.Uint32(hdr[0:])))
-	nparts := int(int32(binary.BigEndian.Uint32(hdr[4:])))
+	epoch := binary.BigEndian.Uint32(hdr[0:])
+	tag := int(int32(binary.BigEndian.Uint32(hdr[4:])))
+	nparts := int(int32(binary.BigEndian.Uint32(hdr[8:])))
 	if nparts < 0 || nparts > 1<<20 {
-		return comm.Message{}, fmt.Errorf("tcp: corrupt frame: %d parts", nparts)
+		return comm.Message{}, 0, fmt.Errorf("tcp: corrupt frame: %d parts", nparts)
 	}
 	m := comm.Message{Tag: tag, Parts: make([]comm.Part, nparts)}
 	ph := make([]byte, 8)
 	for i := 0; i < nparts; i++ {
 		if _, err := io.ReadFull(r, ph); err != nil {
-			return comm.Message{}, err
+			return comm.Message{}, 0, err
 		}
 		origin := int(int32(binary.BigEndian.Uint32(ph[0:])))
 		n := int(int32(binary.BigEndian.Uint32(ph[4:])))
 		if n < 0 || n > maxPartLen {
-			return comm.Message{}, fmt.Errorf("tcp: corrupt frame: part of %d bytes", n)
+			return comm.Message{}, 0, fmt.Errorf("tcp: corrupt frame: part of %d bytes", n)
 		}
 		data := make([]byte, n)
 		if _, err := io.ReadFull(r, data); err != nil {
-			return comm.Message{}, err
+			return comm.Message{}, 0, err
 		}
 		m.Parts[i] = comm.Part{Origin: origin, Data: data}
 	}
-	return m, nil
+	return m, epoch, nil
+}
+
+// runState is the per-run half of the machine: epoch, tracer and clock
+// zero point, plus the abort latch. The reader pumps load it through
+// state.run on every frame, so everything a pump needs to attribute or
+// discard a frame is reached through one atomic pointer.
+type runState struct {
+	epoch   uint32
+	tr      obs.Tracer
+	start   time.Time // zero point of traced Wall stamps
+	aborted atomic.Bool
+}
+
+// wall returns nanoseconds since the run started.
+func (rs *runState) wall() int64 { return time.Since(rs.start).Nanoseconds() }
+
+// wallIfTraced returns wall() on traced runs and 0 otherwise, so untraced
+// hot paths skip the clock read.
+func (rs *runState) wallIfTraced() int64 {
+	if rs.tr == nil {
+		return 0
+	}
+	return rs.wall()
 }
 
 // inbox is one processor's receive side: per-source data FIFOs plus
 // per-source barrier-frame counters, under one lock. The reader pumps
 // demultiplex by tag, so a queued barrier frame can never be handed to
-// algorithm code (and vice versa).
+// algorithm code (and vice versa). Between runs the inbox is reset;
+// push/pushBarrier/fail revalidate (under the lock) that the run they
+// were read for is still current, which together with the pumps' epoch
+// check makes cross-run frame bleed impossible even when a pump is
+// descheduled between decoding a frame and delivering it.
 type inbox struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -179,8 +238,8 @@ type inbox struct {
 	barriers []int
 	dead     error
 	// arrivals mirrors boxes with per-source FIFO queues of frame-arrival
-	// wall stamps (ns since machine start). Allocated only when the run
-	// is traced; nil otherwise, so untraced runs pay nothing.
+	// wall stamps (ns since run start). Allocated only when the run is
+	// traced; nil otherwise, so untraced runs pay nothing.
 	arrivals []tsQueue
 }
 
@@ -205,10 +264,35 @@ func (q *tsQueue) pop() int64 {
 	return t
 }
 
-// push enqueues a data frame from src; ts is the arrival wall stamp,
-// recorded only on traced runs.
-func (ib *inbox) push(src int, m comm.Message, ts int64) {
+// reset wipes the previous run's leftovers: queued frames (slots zeroed
+// so payloads are collectable), barrier tokens, the poison error, and
+// the arrival stamps (reallocated only when the new run is traced).
+func (ib *inbox) reset(traced bool) {
 	ib.mu.Lock()
+	for i := range ib.boxes {
+		ib.boxes[i].Reset()
+	}
+	for i := range ib.barriers {
+		ib.barriers[i] = 0
+	}
+	ib.dead = nil
+	if traced {
+		ib.arrivals = make([]tsQueue, len(ib.boxes))
+	} else {
+		ib.arrivals = nil
+	}
+	ib.mu.Unlock()
+}
+
+// push enqueues a data frame from src for run rs; ts is the arrival wall
+// stamp, recorded only on traced runs. The frame is dropped if rs is no
+// longer the current run.
+func (ib *inbox) push(st *state, rs *runState, src int, m comm.Message, ts int64) {
+	ib.mu.Lock()
+	if st.run.Load() != rs {
+		ib.mu.Unlock()
+		return // the run ended while the frame was in flight
+	}
 	ib.boxes[src].Push(m)
 	if ib.arrivals != nil {
 		ib.arrivals[src].push(ts)
@@ -217,16 +301,22 @@ func (ib *inbox) push(src int, m comm.Message, ts int64) {
 	ib.mu.Unlock()
 }
 
-func (ib *inbox) pushBarrier(src int) {
+func (ib *inbox) pushBarrier(st *state, rs *runState, src int) {
 	ib.mu.Lock()
+	if st.run.Load() != rs {
+		ib.mu.Unlock()
+		return
+	}
 	ib.barriers[src]++
 	ib.cond.Broadcast()
 	ib.mu.Unlock()
 }
 
-func (ib *inbox) fail(err error) {
+// fail poisons the inbox for run rs; it is a no-op once rs is stale so a
+// late abort cannot poison the next run's mailbox.
+func (ib *inbox) fail(st *state, rs *runState, err error) {
 	ib.mu.Lock()
-	if ib.dead == nil {
+	if st.run.Load() == rs && ib.dead == nil {
 		ib.dead = err
 	}
 	ib.cond.Broadcast()
@@ -285,62 +375,70 @@ func (ib *inbox) popBarrier(src int, timeout time.Duration) error {
 }
 
 // state is the machine-wide lifecycle shared by all processors and
-// reader pumps: it distinguishes graceful post-run teardown (closed)
-// from a mid-run abort, and owns the one-shot closing of connections.
+// reader pumps. closed marks session teardown (Close); broken marks a
+// damaged mesh (an abort closed the connections — the next Run rebuilds
+// it); run points at the current run, nil between runs, so the pumps can
+// attribute every frame and every read error to the right run — or to
+// none.
 type state struct {
-	procs     []*Proc
-	closed    atomic.Bool
-	aborted   atomic.Bool
-	closeOnce sync.Once
-	tr        obs.Tracer
-	start     time.Time // zero point of traced Wall stamps
+	procs  []*Proc
+	closed atomic.Bool
+	broken atomic.Bool
+	run    atomic.Pointer[runState]
+
+	// connMu guards conns, the flat list of every live connection
+	// endpoint. closeConns may be called from pump goroutines (abort)
+	// concurrently with nothing else: reconnect replaces the list only
+	// after joining all pumps.
+	connMu sync.Mutex
+	conns  []net.Conn
 }
 
-// wall returns nanoseconds since the machine came up.
-func (st *state) wall() int64 { return time.Since(st.start).Nanoseconds() }
-
-// wallIfTraced returns wall() on traced runs and 0 otherwise, so untraced
-// hot paths skip the clock read.
-func (st *state) wallIfTraced() int64 {
-	if st.tr == nil {
-		return 0
-	}
-	return st.wall()
+func (st *state) setConns(conns []net.Conn) {
+	st.connMu.Lock()
+	st.conns = conns
+	st.connMu.Unlock()
 }
 
+// closeConns closes every connection endpoint; double closes are
+// harmless, so abort, reconnect and Close may all call it.
 func (st *state) closeConns() {
-	st.closeOnce.Do(func() {
-		for _, pr := range st.procs {
-			for _, c := range pr.conns {
-				if c != nil {
-					c.Close()
-				}
-			}
-		}
-	})
+	st.connMu.Lock()
+	for _, c := range st.conns {
+		c.Close()
+	}
+	st.connMu.Unlock()
 }
 
-// abort fails every inbox with reason and closes all connections so
-// blocked readers and writers unwind. The first abort wins.
-func (st *state) abort(reason *abortError) {
-	if st.aborted.Swap(true) {
+// abort fails every inbox of run rs with reason, marks the mesh broken,
+// and closes all connections so blocked readers and writers unwind. The
+// first abort of a run wins; an abort for a stale run still tears the
+// damaged mesh down but cannot poison a newer run's mailboxes.
+func (st *state) abort(rs *runState, reason *abortError) {
+	if rs.aborted.Swap(true) {
 		return
 	}
+	st.broken.Store(true)
 	for _, pr := range st.procs {
-		pr.in.fail(reason)
+		pr.in.fail(st, rs, reason)
 	}
 	st.closeConns()
 }
 
 // Proc is one processor's handle on the TCP machine. It implements
-// comm.Comm; methods must only be called from the algorithm goroutine.
+// comm.Comm; methods must only be called from the algorithm goroutine,
+// during a Machine.Run.
 type Proc struct {
-	rank        int
-	size        int
-	conns       []net.Conn // conns[peer], nil at own rank
-	wmu         []sync.Mutex
-	in          *inbox
-	st          *state
+	rank  int
+	size  int
+	conns []net.Conn // conns[peer], nil at own rank; rebuilt on reconnect
+	wmu   []sync.Mutex
+	in    *inbox
+	st    *state
+
+	// Per-run fields, reset by beginRun under the machine lock (rank
+	// goroutines only live inside Run, so no further synchronization).
+	rs          *runState
 	recvTimeout time.Duration
 	iter        int
 	phase       string
@@ -354,6 +452,18 @@ var _ comm.Comm = (*Proc)(nil)
 var _ comm.IterMarker = (*Proc)(nil)
 var _ comm.PhaseMarker = (*Proc)(nil)
 
+// beginRun resets the per-run half of the processor: a wiped inbox,
+// fresh counters, and the new run's state/deadline.
+func (p *Proc) beginRun(rs *runState, recvTimeout time.Duration) {
+	p.in.reset(rs.tr != nil)
+	p.rs = rs
+	p.recvTimeout = recvTimeout
+	p.iter, p.phase = -1, ""
+	p.sends, p.recvs = 0, 0
+	p.sendBytes, p.recvBytes = 0, 0
+	p.barrierSends, p.barrierRecvs = 0, 0
+}
+
 // BeginIter implements comm.IterMarker: traced events carry the iteration.
 func (p *Proc) BeginIter(i int) { p.iter = i }
 
@@ -366,16 +476,16 @@ func (p *Proc) Rank() int { return p.rank }
 // Size implements comm.Comm.
 func (p *Proc) Size() int { return p.size }
 
-// writeTo frames m onto the pair's socket, classifying failures: a
-// write error after the machine aborted is a secondary unwind, not a
-// root cause.
+// writeTo frames m onto the pair's socket stamped with the run's epoch,
+// classifying failures: a write error after the run aborted is a
+// secondary unwind, not a root cause.
 func (p *Proc) writeTo(dst int, m comm.Message) {
 	p.wmu[dst].Lock()
-	err := writeFrame(p.conns[dst], m)
+	err := writeFrame(p.conns[dst], p.rs.epoch, m)
 	p.wmu[dst].Unlock()
 	if err != nil {
 		serr := fmt.Errorf("send to %d: %w", dst, err)
-		if p.st.aborted.Load() {
+		if p.rs.aborted.Load() {
 			panic(&abortError{cause: serr})
 		}
 		panic(serr)
@@ -394,18 +504,18 @@ func (p *Proc) Send(dst int, m comm.Message) {
 	p.sends++
 	p.sendBytes += int64(m.Len())
 	var t0 time.Time
-	if p.st.tr != nil {
+	if p.rs.tr != nil {
 		t0 = time.Now()
 	}
 	if dst == p.rank {
-		p.in.push(p.rank, m, p.st.wallIfTraced())
+		p.in.push(p.st, p.rs, p.rank, m, p.rs.wallIfTraced())
 	} else {
 		p.writeTo(dst, m)
 	}
-	if p.st.tr != nil {
-		p.st.tr.Trace(obs.Event{
+	if p.rs.tr != nil {
+		p.rs.tr.Trace(obs.Event{
 			Kind: obs.KindSend, Rank: p.rank, Peer: dst, Bytes: m.Len(),
-			Parts: len(m.Parts), Tag: m.Tag, Wall: p.st.wall(),
+			Parts: len(m.Parts), Tag: m.Tag, Wall: p.rs.wall(),
 			Dur: network.Time(time.Since(t0).Nanoseconds()), Iter: p.iter, Phase: p.phase,
 		})
 	}
@@ -419,7 +529,7 @@ func (p *Proc) Recv(src int) comm.Message {
 		panic(fmt.Sprintf("tcp: rank %d receives from invalid rank %d", p.rank, src))
 	}
 	var t0 time.Time
-	if p.st.tr != nil {
+	if p.rs.tr != nil {
 		t0 = time.Now()
 	}
 	m, arrival, waited, err := p.in.pop(src, p.recvTimeout)
@@ -428,17 +538,17 @@ func (p *Proc) Recv(src int) comm.Message {
 	}
 	p.recvs++
 	p.recvBytes += int64(m.Len())
-	if p.st.tr != nil {
-		wall := p.st.wall()
+	if p.rs.tr != nil {
+		wall := p.rs.wall()
 		spent := network.Time(time.Since(t0).Nanoseconds())
 		if waited {
-			p.st.tr.Trace(obs.Event{
+			p.rs.tr.Trace(obs.Event{
 				Kind: obs.KindWait, Rank: p.rank, Peer: src, Wall: wall,
 				Dur: spent, Arrival: network.Time(arrival), Iter: p.iter, Phase: p.phase,
 			})
 			spent = 0 // the blocked span is the wait slice, not the recv
 		}
-		p.st.tr.Trace(obs.Event{
+		p.rs.tr.Trace(obs.Event{
 			Kind: obs.KindRecv, Rank: p.rank, Peer: src, Bytes: m.Len(),
 			Parts: len(m.Parts), Tag: m.Tag, Wall: wall, Dur: spent,
 			Arrival: network.Time(arrival), Iter: p.iter, Phase: p.phase,
@@ -454,7 +564,7 @@ func (p *Proc) Recv(src int) comm.Message {
 // agree with the live engine.
 func (p *Proc) Barrier() {
 	var t0 time.Time
-	if p.st.tr != nil {
+	if p.rs.tr != nil {
 		t0 = time.Now()
 	}
 	for k := 1; k < p.size; k <<= 1 {
@@ -467,9 +577,9 @@ func (p *Proc) Barrier() {
 		}
 		p.barrierRecvs++
 	}
-	if p.st.tr != nil {
-		p.st.tr.Trace(obs.Event{
-			Kind: obs.KindBarrier, Rank: p.rank, Peer: -1, Wall: p.st.wall(),
+	if p.rs.tr != nil {
+		p.rs.tr.Trace(obs.Event{
+			Kind: obs.KindBarrier, Rank: p.rank, Peer: -1, Wall: p.rs.wall(),
 			Dur: network.Time(time.Since(t0).Nanoseconds()), Iter: p.iter, Phase: p.phase,
 		})
 	}
@@ -499,27 +609,148 @@ type Result struct {
 	Procs []ProcStats
 }
 
-// Run builds a fully connected loopback TCP machine of p processors,
-// executes fn on each, and tears the machine down. A panic on any
-// processor aborts the run and is returned as an error. Run applies no
-// deadlines; see RunOpts.
-func Run(p int, fn func(*Proc)) (*Result, error) {
-	return RunOpts(p, Options{}, fn)
+// Machine is a persistent fully connected loopback TCP machine: p
+// listeners, a dialed O(p²) mesh, and one reader pump per connection
+// end, built once by NewMachine and reused by every Run. Close tears it
+// down. Run and Close serialize; a Machine supports one run at a time.
+type Machine struct {
+	size      int
+	mu        sync.Mutex // serializes Run, Close and mesh rebuilds
+	listeners []net.Listener
+	procs     []*Proc
+	st        *state
+	pumps     sync.WaitGroup
+
+	dial         func(addr string) (net.Conn, error)
+	dialAttempts int
+	dialBackoff  time.Duration
+
+	epoch      uint32
+	reconnects int
+	closed     bool
+	dead       error // a failed mesh rebuild poisons the machine
 }
 
-// RunOpts is Run with deadlines, cancellation and dial-retry control
-// (see Options). With a RecvTimeout or RunTimeout configured, a hung or
-// killed rank becomes a returned error naming the blocked rank and
-// peer — never a silent hang.
-func RunOpts(p int, opts Options, fn func(*Proc)) (*Result, error) {
+// NewMachine listens on p loopback ports, dials the full mesh and starts
+// the reader pumps. Only the setup fields of opts are consumed (Dial,
+// DialAttempts, DialBackoff, plus Context to cancel setup); they are
+// remembered for mesh rebuilds after an abort. The caller owns the
+// machine and must Close it.
+func NewMachine(p int, opts Options) (*Machine, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("tcp: non-positive processor count %d", p)
 	}
-	procs, st, cleanup, err := setup(p, opts)
-	if err != nil {
+	dial := opts.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	attempts := opts.DialAttempts
+	if attempts <= 0 {
+		attempts = defaultDialAttempts
+	}
+	backoff := opts.DialBackoff
+	if backoff <= 0 {
+		backoff = defaultDialBackoff
+	}
+	m := &Machine{
+		size: p, st: &state{},
+		listeners: make([]net.Listener, p), procs: make([]*Proc, p),
+		dial: dial, dialAttempts: attempts, dialBackoff: backoff,
+	}
+	m.st.procs = m.procs
+	for i := 0; i < p; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range m.listeners[:i] {
+				l.Close()
+			}
+			return nil, fmt.Errorf("tcp: listen for rank %d: %w", i, err)
+		}
+		m.listeners[i] = ln
+		in := &inbox{boxes: make([]comm.Queue, p), barriers: make([]int, p)}
+		in.cond = sync.NewCond(&in.mu)
+		m.procs[i] = &Proc{
+			rank: i, size: p, wmu: make([]sync.Mutex, p),
+			in: in, st: m.st, iter: -1,
+		}
+	}
+	if err := m.connect(opts.Context); err != nil {
+		for _, ln := range m.listeners {
+			ln.Close()
+		}
 		return nil, err
 	}
-	defer cleanup()
+	return m, nil
+}
+
+// Size returns the processor count the machine was built for.
+func (m *Machine) Size() int { return m.size }
+
+// Reconnects reports how many times the mesh has been rebuilt after an
+// abort or a between-runs connection failure.
+func (m *Machine) Reconnects() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reconnects
+}
+
+// Close tears the machine down: listeners and connections are closed and
+// the reader pumps joined. Close is idempotent; a run must not be in
+// flight.
+func (m *Machine) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	m.st.closed.Store(true)
+	for _, ln := range m.listeners {
+		ln.Close()
+	}
+	m.st.closeConns()
+	m.pumps.Wait()
+	return nil
+}
+
+// Run executes fn on every processor over the warm mesh, rebuilding it
+// first if a previous run's abort damaged it. Only the run fields of
+// opts are consumed (Context, RunTimeout, RecvTimeout, Tracer); each
+// call may pass different ones. A panic on any processor aborts the run
+// and is returned as an error; the machine remains usable — the next Run
+// reconnects.
+func (m *Machine) Run(opts Options, fn func(*Proc)) (*Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		if m.dead != nil {
+			return nil, m.dead
+		}
+		return nil, errors.New("tcp: Run on closed machine")
+	}
+	if m.st.broken.Load() {
+		if err := m.reconnect(opts.Context); err != nil {
+			// The failed rebuild closed the listeners; the machine is
+			// beyond repair and every future Run reports why.
+			m.closed = true
+			m.dead = fmt.Errorf("tcp: mesh rebuild failed: %w", err)
+			m.st.closed.Store(true)
+			m.st.closeConns()
+			m.pumps.Wait()
+			return nil, m.dead
+		}
+	}
+
+	m.epoch++
+	rs := &runState{epoch: m.epoch, tr: opts.Tracer}
+	p := m.size
+	for _, pr := range m.procs {
+		pr.beginRun(rs, opts.RecvTimeout)
+	}
+	rs.start = time.Now()
+	// Inboxes are wiped and stamped for the new run; only now do the
+	// pumps start delivering (current-epoch) frames.
+	m.st.run.Store(rs)
 
 	// External abort sources: context cancellation and the whole-run
 	// deadline.
@@ -541,9 +772,9 @@ func RunOpts(p int, opts Options, fn func(*Proc)) (*Result, error) {
 			defer watchWG.Done()
 			select {
 			case <-ctxDone:
-				st.abort(&abortError{cause: fmt.Errorf("run canceled: %w", opts.Context.Err()), external: true})
+				m.st.abort(rs, &abortError{cause: fmt.Errorf("run canceled: %w", opts.Context.Err()), external: true})
 			case <-runTimeoutC:
-				st.abort(&abortError{cause: fmt.Errorf("run exceeded %v deadline", opts.RunTimeout), external: true})
+				m.st.abort(rs, &abortError{cause: fmt.Errorf("run exceeded %v deadline", opts.RunTimeout), external: true})
 			case <-watchDone:
 			}
 		}()
@@ -558,7 +789,7 @@ func RunOpts(p int, opts Options, fn func(*Proc)) (*Result, error) {
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < p; i++ {
-		pr := procs[i]
+		pr := m.procs[i]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -577,23 +808,23 @@ func RunOpts(p int, opts Options, fn func(*Proc)) (*Result, error) {
 					// Fail fast: poison every inbox and close the
 					// connections so blocked peers unwind instead of
 					// hanging on a dead processor.
-					st.abort(&abortError{cause: fmt.Errorf("machine aborted by rank %d", pr.rank)})
+					m.st.abort(rs, &abortError{cause: fmt.Errorf("machine aborted by rank %d", pr.rank)})
 				}
 			}()
 			fn(pr)
 		}()
 	}
 	wg.Wait()
-	// Graceful teardown begins: reader pumps must treat connection
-	// closes from here on as normal, not as mid-run failures.
-	st.closed.Store(true)
+	// The run is over: pumps must stop delivering into its mailboxes
+	// (late frames are dropped until the next run opens a new epoch).
+	m.st.run.Store(nil)
 	close(watchDone)
 	if runTimer != nil {
 		runTimer.Stop()
 	}
 	watchWG.Wait()
 	res := &Result{Elapsed: time.Since(start), Procs: make([]ProcStats, p)}
-	for i, pr := range procs {
+	for i, pr := range m.procs {
 		res.Procs[i] = ProcStats{
 			Rank: i, Sends: pr.sends, Recvs: pr.recvs,
 			SendBytes: pr.sendBytes, RecvBytes: pr.recvBytes,
@@ -613,55 +844,34 @@ func RunOpts(p int, opts Options, fn func(*Proc)) (*Result, error) {
 	return res, nil
 }
 
-// setup listens on p loopback ports and builds the full mesh of
-// connections: rank i dials every rank j < i (with retry and backoff
-// for transient failures); the accepting side learns the dialer's rank
-// from a one-byte-frame handshake.
-func setup(p int, opts Options) ([]*Proc, *state, func(), error) {
-	dial := opts.Dial
-	if dial == nil {
-		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+// reconnect rebuilds the mesh over the still-open listeners after an
+// abort closed the connections: the orphaned pumps are joined first so
+// no stale goroutine can touch the new mesh.
+func (m *Machine) reconnect(ctx context.Context) error {
+	m.st.closeConns()
+	m.pumps.Wait()
+	m.st.broken.Store(false)
+	if err := m.connect(ctx); err != nil {
+		return err
 	}
-	attempts := opts.DialAttempts
-	if attempts <= 0 {
-		attempts = defaultDialAttempts
-	}
-	backoff := opts.DialBackoff
-	if backoff <= 0 {
-		backoff = defaultDialBackoff
-	}
-	var ctxDone <-chan struct{}
-	if opts.Context != nil {
-		ctxDone = opts.Context.Done()
-	}
+	m.reconnects++
+	return nil
+}
 
-	listeners := make([]net.Listener, p)
-	procs := make([]*Proc, p)
-	st := &state{procs: procs, tr: opts.Tracer}
-	for i := 0; i < p; i++ {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			for _, l := range listeners[:i] {
-				l.Close()
-			}
-			return nil, nil, nil, fmt.Errorf("tcp: listen for rank %d: %w", i, err)
-		}
-		listeners[i] = ln
-		in := &inbox{boxes: make([]comm.Queue, p), barriers: make([]int, p)}
-		if opts.Tracer != nil {
-			in.arrivals = make([]tsQueue, p)
-		}
-		in.cond = sync.NewCond(&in.mu)
-		procs[i] = &Proc{
-			rank: i, size: p, conns: make([]net.Conn, p), wmu: make([]sync.Mutex, p),
-			in: in, st: st, recvTimeout: opts.RecvTimeout, iter: -1,
-		}
+// connect builds the full mesh of connections over the machine's
+// listeners: rank i dials every rank j < i (with retry and backoff for
+// transient failures); the accepting side learns the dialer's rank from
+// a one-byte-frame handshake. On success it starts one reader pump per
+// connection end. On failure the listeners are closed (to unblock
+// Accept) and every partially built connection is torn down.
+func (m *Machine) connect(ctx context.Context) error {
+	p := m.size
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
 	}
-	cleanup := func() {
-		for _, ln := range listeners {
-			ln.Close()
-		}
-		st.closeConns()
+	for _, pr := range m.procs {
+		pr.conns = make([]net.Conn, p)
 	}
 
 	var wg sync.WaitGroup
@@ -672,7 +882,7 @@ func setup(p int, opts Options) ([]*Proc, *state, func(), error) {
 	fail := func(err error) {
 		errCh <- err
 		failOnce.Do(func() {
-			for _, ln := range listeners {
+			for _, ln := range m.listeners {
 				ln.Close()
 			}
 		})
@@ -687,7 +897,7 @@ func setup(p int, opts Options) ([]*Proc, *state, func(), error) {
 		go func(j, expect int) {
 			defer wg.Done()
 			for k := 0; k < expect; k++ {
-				conn, err := listeners[j].Accept()
+				conn, err := m.listeners[j].Accept()
 				if err != nil {
 					fail(fmt.Errorf("tcp: accept at rank %d: %w", j, err))
 					return
@@ -708,7 +918,7 @@ func setup(p int, opts Options) ([]*Proc, *state, func(), error) {
 					fail(fmt.Errorf("tcp: rank %d handshake from invalid peer %d", j, peer))
 					return
 				}
-				procs[j].conns[peer] = conn
+				m.procs[j].conns[peer] = conn
 			}
 		}(j, expect)
 	}
@@ -719,22 +929,22 @@ func setup(p int, opts Options) ([]*Proc, *state, func(), error) {
 		go func(i int) {
 			defer wg.Done()
 			for j := 0; j < i; j++ {
-				addr := listeners[j].Addr().String()
+				addr := m.listeners[j].Addr().String()
 				var conn net.Conn
 				for attempt := 0; ; attempt++ {
 					var err error
-					conn, err = dial(addr)
+					conn, err = m.dial(addr)
 					if err == nil {
 						break
 					}
-					if attempt+1 >= attempts {
-						fail(fmt.Errorf("tcp: rank %d dial rank %d failed after %d attempts: %w", i, j, attempts, err))
+					if attempt+1 >= m.dialAttempts {
+						fail(fmt.Errorf("tcp: rank %d dial rank %d failed after %d attempts: %w", i, j, m.dialAttempts, err))
 						return
 					}
 					select {
-					case <-time.After(backoff << attempt):
+					case <-time.After(m.dialBackoff << attempt):
 					case <-ctxDone:
-						fail(fmt.Errorf("tcp: rank %d dial rank %d: setup canceled: %w", i, j, opts.Context.Err()))
+						fail(fmt.Errorf("tcp: rank %d dial rank %d: setup canceled: %w", i, j, ctx.Err()))
 						return
 					}
 				}
@@ -745,50 +955,108 @@ func setup(p int, opts Options) ([]*Proc, *state, func(), error) {
 					fail(fmt.Errorf("tcp: rank %d handshake to %d: %w", i, j, err))
 					return
 				}
-				procs[i].conns[j] = conn
+				m.procs[i].conns[j] = conn
 			}
 		}(i)
 	}
 	wg.Wait()
 	select {
 	case err := <-errCh:
-		cleanup()
-		return nil, nil, nil, err
+		for _, pr := range m.procs {
+			for k, c := range pr.conns {
+				if c != nil {
+					c.Close()
+					pr.conns[k] = nil
+				}
+			}
+		}
+		return err
 	default:
 	}
 
+	conns := make([]net.Conn, 0, p*(p-1))
+	for _, pr := range m.procs {
+		for _, c := range pr.conns {
+			if c != nil {
+				conns = append(conns, c)
+			}
+		}
+	}
+	m.st.setConns(conns)
+
 	// Reader pumps: one goroutine per connection end demultiplexes
 	// frames by tag into the owner's data or barrier queues, stamping
-	// each data frame's arrival instant on traced runs. A read error
-	// during the run is a mid-run connection failure (root cause,
-	// machine aborts); after the run has completed (st.closed) it is
-	// the normal teardown close and is ignored.
-	st.start = time.Now()
-	for i := 0; i < p; i++ {
-		pr := procs[i]
+	// each data frame's arrival instant on traced runs. Pumps outlive
+	// runs; the epoch check keeps every frame inside the run that sent
+	// it.
+	for _, pr := range m.procs {
 		for peer, conn := range pr.conns {
 			if conn == nil {
 				continue
 			}
-			go func(pr *Proc, peer int, conn net.Conn) {
-				for {
-					m, err := readFrame(conn)
-					if err != nil {
-						if st.closed.Load() {
-							return // graceful post-run teardown
-						}
-						pr.in.fail(fmt.Errorf("tcp: connection %d→%d failed: %w", peer, pr.rank, err))
-						st.abort(&abortError{cause: fmt.Errorf("machine aborted: connection %d→%d failed", peer, pr.rank)})
-						return
-					}
-					if m.Tag == barrierTag {
-						pr.in.pushBarrier(peer)
-					} else {
-						pr.in.push(peer, m, st.wallIfTraced())
-					}
-				}
-			}(pr, peer, conn)
+			m.pumps.Add(1)
+			go m.pump(pr, peer, conn)
 		}
 	}
-	return procs, st, cleanup, nil
+	return nil
+}
+
+// pump reads frames off one connection end for the machine's lifetime
+// (or until the mesh breaks). A read error during a run is a mid-run
+// connection failure (root cause, the run aborts); during Close or after
+// an abort it is the expected teardown; between runs it marks the mesh
+// broken so the next Run rebuilds it.
+func (m *Machine) pump(pr *Proc, peer int, conn net.Conn) {
+	defer m.pumps.Done()
+	st := m.st
+	for {
+		fr, epoch, err := readFrame(conn)
+		if err != nil {
+			if st.closed.Load() || st.broken.Load() {
+				return // session teardown or already-torn mesh
+			}
+			rs := st.run.Load()
+			if rs != nil {
+				pr.in.fail(st, rs, fmt.Errorf("tcp: connection %d→%d failed: %w", peer, pr.rank, err))
+				st.abort(rs, &abortError{cause: fmt.Errorf("machine aborted: connection %d→%d failed", peer, pr.rank)})
+			} else {
+				// A connection died between runs: nobody is blocked on
+				// it, so just mark the mesh for rebuild.
+				st.broken.Store(true)
+			}
+			return
+		}
+		rs := st.run.Load()
+		if rs == nil || epoch != rs.epoch {
+			continue // frame from an earlier run (late or replayed): drop
+		}
+		if fr.Tag == barrierTag {
+			pr.in.pushBarrier(st, rs, peer)
+		} else {
+			pr.in.push(st, rs, peer, fr, rs.wallIfTraced())
+		}
+	}
+}
+
+// Run builds a fully connected loopback TCP machine of p processors,
+// executes fn on each, and tears the machine down. A panic on any
+// processor aborts the run and is returned as an error. Run applies no
+// deadlines; see RunOpts. For many broadcasts back to back, build a
+// Machine once instead.
+func Run(p int, fn func(*Proc)) (*Result, error) {
+	return RunOpts(p, Options{}, fn)
+}
+
+// RunOpts is Run with deadlines, cancellation and dial-retry control
+// (see Options). With a RecvTimeout or RunTimeout configured, a hung or
+// killed rank becomes a returned error naming the blocked rank and
+// peer — never a silent hang. It is the one-shot open-run-close wrapper
+// over NewMachine/Machine.Run/Machine.Close.
+func RunOpts(p int, opts Options, fn func(*Proc)) (*Result, error) {
+	m, err := NewMachine(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	return m.Run(opts, fn)
 }

@@ -27,15 +27,15 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Origin: 9, Data: nil},
 		{Origin: 0, Data: bytes.Repeat([]byte{0xAB}, 10000)},
 	}}
-	if err := writeFrame(&buf, m); err != nil {
+	if err := writeFrame(&buf, 9, m); err != nil {
 		t.Fatal(err)
 	}
-	got, err := readFrame(&buf)
+	got, epoch, err := readFrame(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Tag != 42 || len(got.Parts) != 3 {
-		t.Fatalf("frame header: %+v", got)
+	if got.Tag != 42 || len(got.Parts) != 3 || epoch != 9 {
+		t.Fatalf("frame header: %+v (epoch %d)", got, epoch)
 	}
 	for i := range m.Parts {
 		if got.Parts[i].Origin != m.Parts[i].Origin {
@@ -49,8 +49,8 @@ func TestFrameRoundTrip(t *testing.T) {
 
 func TestFrameRejectsCorruptHeader(t *testing.T) {
 	// A negative part count must not allocate.
-	buf := []byte{0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}
-	if _, err := readFrame(bytes.NewReader(buf)); err == nil {
+	buf := []byte{0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, err := readFrame(bytes.NewReader(buf)); err == nil {
 		t.Fatal("corrupt frame accepted")
 	}
 }

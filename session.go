@@ -1,0 +1,461 @@
+package stpbcast
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/live"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// Engine selects the execution engine behind the unified Run API.
+type Engine int
+
+const (
+	// EngineSim is the deterministic discrete-event simulator: virtual
+	// time, contention-aware routing, no payload bytes moved.
+	EngineSim Engine = iota
+	// EngineLive is the goroutine runtime: real payload bytes through
+	// in-process mailboxes, wall-clock timing.
+	EngineLive
+	// EngineTCP is the distributed-transport engine: real payload bytes
+	// as length-prefixed frames over a full mesh of loopback TCP sockets.
+	EngineTCP
+)
+
+// String returns the engine's CLI name ("sim", "live", "tcp").
+func (e Engine) String() string {
+	switch e {
+	case EngineSim:
+		return "sim"
+	case EngineLive:
+		return "live"
+	case EngineTCP:
+		return "tcp"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine maps a CLI name ("sim", "live", "tcp") to its Engine.
+func ParseEngine(name string) (Engine, error) {
+	switch strings.ToLower(name) {
+	case "sim":
+		return EngineSim, nil
+	case "live":
+		return EngineLive, nil
+	case "tcp":
+		return EngineTCP, nil
+	}
+	return 0, fmt.Errorf("stpbcast: unknown engine %q (want sim, live or tcp)", name)
+}
+
+// SessionOptions configure engine setup for Open. The zero value uses
+// the defaults.
+type SessionOptions struct {
+	// Context, when non-nil, cancels engine setup (the TCP engine's dial
+	// backoff waits) and later mesh rebuilds started by Session.Run calls
+	// that pass no context of their own.
+	Context context.Context
+	// DialAttempts/DialBackoff tune the TCP engine's connection-setup
+	// retry, remembered for reconnects (ignored by the other engines);
+	// zero means the defaults.
+	DialAttempts int
+	DialBackoff  time.Duration
+}
+
+// SessionStats aggregate a session's activity across runs.
+type SessionStats struct {
+	// Runs counts Session.Run calls that passed validation and reached
+	// the engine; Failures counts those that returned an error.
+	Runs     int
+	Failures int
+	// Bytes totals the algorithm payload bytes sent across all
+	// successful runs, summed over ranks (simulated lengths under
+	// EngineSim; barrier/dissemination overhead excluded).
+	Bytes int64
+	// Reconnects counts TCP mesh rebuilds after an aborted run or a
+	// connection failure (always 0 for the other engines).
+	Reconnects int
+}
+
+// Session is a persistent broadcast engine: Open stands the engine up
+// once — for EngineTCP that is one listener per rank, the dialed O(p²)
+// connection mesh and the reader pumps; for EngineLive the mailboxes and
+// barrier — and Run executes many broadcasts over it, each isolated from
+// the last (fresh mailboxes, per-run epoch on the wire, per-run fault
+// injector and tracer). Close tears the engine down and returns the
+// aggregate stats.
+//
+// For back-to-back broadcasts this amortizes setup: the TCP mesh, whose
+// construction dominates a one-shot RunTCP, is built once. A run that
+// aborts (panic, injected kill, deadline) does not end the session — the
+// next Run reuses the engine, rebuilding the TCP mesh if the abort
+// damaged it (counted in SessionStats.Reconnects).
+//
+// Run and Close serialize; a Session executes one run at a time.
+type Session struct {
+	mu     sync.Mutex
+	m      *Machine
+	engine Engine
+	opts   SessionOptions
+	liveM  *live.Machine
+	tcpM   *tcp.Machine
+	stats  SessionStats
+	closed bool
+}
+
+// Open stands up a persistent engine for machine m. The caller owns the
+// session and must Close it.
+func Open(m *Machine, engine Engine, opts SessionOptions) (*Session, error) {
+	s := &Session{m: m, engine: engine, opts: opts}
+	switch engine {
+	case EngineSim:
+		// The simulator builds its (cheap) network per run for
+		// determinism; validate the machine once so a bad topology
+		// surfaces at Open like the other engines' setup errors.
+		if _, err := m.NewNetwork(); err != nil {
+			return nil, err
+		}
+	case EngineLive:
+		lm, err := live.NewMachine(m.P())
+		if err != nil {
+			return nil, err
+		}
+		s.liveM = lm
+	case EngineTCP:
+		tm, err := tcp.NewMachine(m.P(), tcp.Options{
+			Context:      opts.Context,
+			DialAttempts: opts.DialAttempts,
+			DialBackoff:  opts.DialBackoff,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.tcpM = tm
+	default:
+		return nil, fmt.Errorf("stpbcast: unknown engine %v", engine)
+	}
+	return s, nil
+}
+
+// Engine returns the engine the session was opened with.
+func (s *Session) Engine() Engine { return s.engine }
+
+// Stats returns the session's aggregate stats so far.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	if s.tcpM != nil && !s.closed {
+		st.Reconnects = s.tcpM.Reconnects()
+	}
+	return st
+}
+
+// Close tears the engine down (TCP listeners, connections and reader
+// pumps joined) and returns the session's aggregate stats. Close is
+// idempotent.
+func (s *Session) Close() (SessionStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.stats, nil
+	}
+	s.closed = true
+	var err error
+	if s.tcpM != nil {
+		s.stats.Reconnects = s.tcpM.Reconnects()
+		err = s.tcpM.Close()
+	}
+	if s.liveM != nil {
+		err = s.liveM.Close()
+	}
+	return s.stats, err
+}
+
+// Run executes one broadcast over the session's warm engine. Every call
+// is isolated from its predecessors: fresh mailboxes and epoch, its own
+// fault plan and tracer from opts, per-run deadlines. cfg may change
+// freely between runs (algorithm, distribution, message sizes) as long
+// as it targets the session's machine.
+func (s *Session) Run(cfg Config, opts RunOptions) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("stpbcast: Run on closed session")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var res *Result
+	var sent int64
+	var err error
+	if s.engine == EngineSim {
+		res, sent, err = runSim(s.m, cfg, opts)
+	} else {
+		res, sent, err = s.runReal(cfg, opts)
+	}
+	s.stats.Runs++
+	if err != nil {
+		s.stats.Failures++
+		return nil, err
+	}
+	s.stats.Bytes += sent
+	return res, nil
+}
+
+// Run executes one broadcast on the chosen engine: it is the unified
+// one-shot entrypoint (open-run-close over a Session) that the
+// deprecated Simulate*/RunLive*/RunTCP* variants wrap. For many
+// broadcasts back to back, Open a Session instead and amortize the
+// engine setup.
+func Run(m *Machine, engine Engine, cfg Config, opts RunOptions) (*Result, error) {
+	// Validate before standing up the engine, so a bad config never pays
+	// (or leaks) a TCP mesh.
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := cfg.spec(m); err != nil {
+		return nil, err
+	}
+	s, err := Open(m, engine, SessionOptions{
+		Context:      opts.Context,
+		DialAttempts: opts.DialAttempts,
+		DialBackoff:  opts.DialBackoff,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.Run(cfg, opts)
+}
+
+// Result is the outcome of one broadcast through the unified Run API.
+// The simulator fields (Params through NodeLoad) are populated only
+// under EngineSim; Bundles and Faults only under the real-byte engines.
+type Result struct {
+	// Elapsed is the broadcast duration: simulated makespan under
+	// EngineSim, wall clock otherwise.
+	Elapsed time.Duration
+	// Params are the paper's characteristic parameters of the run
+	// (EngineSim only).
+	Params Params
+	// ActiveProfile is the number of processors communicating in each
+	// algorithm iteration (EngineSim only).
+	ActiveProfile []int
+	// HotLinks are the ten busiest directed links of the run, most
+	// loaded first (EngineSim only).
+	HotLinks []LinkStats
+	// NodeLoad is, per physical node, the occupancy of its busiest
+	// outgoing link (EngineSim only; input for viz.Heatmap).
+	NodeLoad []time.Duration
+	// Bundles holds, per rank, the received original messages keyed by
+	// origin rank (real-byte engines only).
+	Bundles []map[int][]byte
+	// Faults lists the faults injected during the run, when
+	// RunOptions.Faults was set.
+	Faults []FaultEvent
+	// Trace echoes RunOptions.Trace when tracing was requested.
+	Trace *TraceRecorder
+}
+
+// simResult converts to the deprecated Simulate return type.
+func (r *Result) simResult() *SimResult {
+	return &SimResult{
+		Elapsed:       r.Elapsed,
+		Params:        r.Params,
+		ActiveProfile: r.ActiveProfile,
+		Trace:         r.Trace,
+		HotLinks:      r.HotLinks,
+		NodeLoad:      r.NodeLoad,
+	}
+}
+
+// liveResult converts to the deprecated RunLive/RunTCP return type.
+func (r *Result) liveResult() *LiveResult {
+	return &LiveResult{Elapsed: r.Elapsed, Bundles: r.Bundles, Faults: r.Faults}
+}
+
+// runSim executes one simulated broadcast. The simulator is
+// deterministic, so a session adds no warm state — each run builds a
+// fresh network, keeping results identical to the one-shot path.
+func runSim(m *Machine, cfg Config, opts RunOptions) (*Result, int64, error) {
+	if opts.Faults != nil {
+		return nil, 0, errors.New("stpbcast: fault injection requires a real-byte engine (EngineLive or EngineTCP)")
+	}
+	spec, err := cfg.spec(m)
+	if err != nil {
+		return nil, 0, err
+	}
+	alg := opts.Algorithm
+	if alg == nil {
+		alg, err = resolveAlgorithm(m, cfg, spec)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	nw, err := m.NewNetwork()
+	if err != nil {
+		return nil, 0, err
+	}
+	// The simulator prices message lengths only, so sources enter with
+	// length-only parts — no payload buffers are allocated.
+	msgLens := make(map[int]int, len(spec.Sources))
+	for _, src := range spec.Sources {
+		msgLens[src] = msgLenFor(cfg, src)
+	}
+	sopts := sim.Options{}
+	if opts.Trace != nil {
+		sopts.Tracer = opts.Trace
+	}
+	res, err := sim.Run(nw, func(pr *sim.Proc) {
+		mine := core.InitialMessageLen(spec, pr.Rank(), msgLens[pr.Rank()])
+		alg.Run(pr, spec, mine)
+	}, sopts)
+	if err != nil {
+		return nil, 0, err
+	}
+	loads := nw.NodeLoad()
+	nodeLoad := make([]time.Duration, len(loads))
+	for i, v := range loads {
+		nodeLoad[i] = v.Duration()
+	}
+	var sent int64
+	for i := range res.Procs {
+		sent += res.Procs[i].SendBytes
+	}
+	return &Result{
+		Elapsed:       res.Elapsed.Duration(),
+		Params:        metrics.FromResult(res),
+		ActiveProfile: metrics.ActiveProfile(res),
+		HotLinks:      nw.HotLinks(10),
+		NodeLoad:      nodeLoad,
+		Trace:         opts.Trace,
+	}, sent, nil
+}
+
+// runReal executes one broadcast over the session's warm real-byte
+// engine: per-run spec/algorithm resolution, a per-run fault injector
+// wrapping each rank's comm, and per-run tracer attachment.
+func (s *Session) runReal(cfg Config, opts RunOptions) (*Result, int64, error) {
+	spec, err := cfg.spec(s.m)
+	if err != nil {
+		return nil, 0, err
+	}
+	alg := opts.Algorithm
+	if alg == nil {
+		alg, err = resolveAlgorithm(s.m, cfg, spec)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	payload := opts.Payload
+	if payload == nil {
+		payload = defaultPayload(cfg)
+	}
+	var inj *faults.Injector
+	if opts.Faults != nil {
+		inj = faults.New(*opts.Faults)
+		if opts.Trace != nil {
+			inj.SetTracer(opts.Trace, time.Now())
+		}
+	}
+	bundles := make([]map[int][]byte, s.m.P())
+	body := func(c comm.Comm) {
+		rank := c.Rank()
+		if inj != nil {
+			c = inj.Wrap(c)
+		}
+		var mine comm.Message
+		if spec.IsSource(rank) {
+			mine = comm.Message{Parts: []comm.Part{{Origin: rank, Data: payload(rank)}}}
+		}
+		out := alg.Run(c, spec, mine)
+		got := make(map[int][]byte, len(out.Parts))
+		for _, part := range out.Parts {
+			got[part.Origin] = part.Data
+		}
+		bundles[rank] = got
+	}
+
+	var elapsed time.Duration
+	var sent int64
+	switch s.engine {
+	case EngineLive:
+		r, err := s.liveM.Run(live.Options{
+			Context:     opts.Context,
+			RunTimeout:  opts.RunTimeout,
+			RecvTimeout: opts.RecvTimeout,
+			Tracer:      tracerOrNil(opts.Trace),
+		}, func(pr *live.Proc) { body(pr) })
+		if err != nil {
+			return nil, 0, err
+		}
+		elapsed = r.Elapsed
+		for i := range r.Procs {
+			sent += r.Procs[i].SendBytes
+		}
+	case EngineTCP:
+		r, err := s.tcpM.Run(tcp.Options{
+			Context:     opts.Context,
+			RunTimeout:  opts.RunTimeout,
+			RecvTimeout: opts.RecvTimeout,
+			Tracer:      tracerOrNil(opts.Trace),
+		}, func(pr *tcp.Proc) { body(pr) })
+		if err != nil {
+			return nil, 0, err
+		}
+		elapsed = r.Elapsed
+		for i := range r.Procs {
+			sent += r.Procs[i].SendBytes
+		}
+	default:
+		return nil, 0, fmt.Errorf("stpbcast: unknown engine %v", s.engine)
+	}
+	res := &Result{Elapsed: elapsed, Bundles: bundles, Trace: opts.Trace}
+	if inj != nil {
+		res.Faults = inj.Events()
+	}
+	return res, sent, nil
+}
+
+// tracerOrNil avoids the classic non-nil interface holding a nil
+// pointer: a nil *TraceRecorder must reach the engines as a nil Tracer.
+func tracerOrNil(rec *TraceRecorder) obsTracer {
+	if rec == nil {
+		return nil
+	}
+	return rec
+}
+
+// msgLenFor resolves one source's message length under cfg.
+func msgLenFor(cfg Config, rank int) int {
+	if cfg.MsgBytesFor != nil {
+		if n := cfg.MsgBytesFor(rank); n > 0 {
+			return n
+		}
+		return 0
+	}
+	return cfg.MsgBytes
+}
+
+// defaultPayload synthesizes deterministic per-source payloads when
+// RunOptions.Payload is nil: msgLenFor bytes of the source's rank value.
+func defaultPayload(cfg Config) func(rank int) []byte {
+	return func(rank int) []byte {
+		buf := make([]byte, msgLenFor(cfg, rank))
+		for i := range buf {
+			buf[i] = byte(rank)
+		}
+		return buf
+	}
+}

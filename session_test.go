@@ -1,0 +1,404 @@
+package stpbcast_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	stpbcast "repro"
+)
+
+// sessionCfg is the workload shared by the session tests: small enough
+// to run hundreds of times, real enough to exercise combining.
+var sessionCfg = stpbcast.Config{
+	Algorithm:    "Br_Lin",
+	Distribution: "E",
+	Sources:      4,
+	MsgBytes:     64,
+}
+
+func checkBundles(t *testing.T, res *stpbcast.Result, p, sources int) {
+	t.Helper()
+	if len(res.Bundles) != p {
+		t.Fatalf("bundles for %d ranks, want %d", len(res.Bundles), p)
+	}
+	for rank, got := range res.Bundles {
+		if len(got) != sources {
+			t.Fatalf("rank %d holds %d messages, want %d", rank, len(got), sources)
+		}
+	}
+}
+
+// TestSessionIsolationRealEngines runs two broadcasts back to back over
+// one warm session — the first under an aggressive duplicate-fault plan
+// with its own tracer, the second clean with a fresh tracer — and
+// asserts nothing leaks between them: no stale frames (bundles exact),
+// no fault events on the clean run, no events appended to the first
+// run's tracer by the second run.
+func TestSessionIsolationRealEngines(t *testing.T) {
+	for _, engine := range []stpbcast.Engine{stpbcast.EngineLive, stpbcast.EngineTCP} {
+		t.Run(engine.String(), func(t *testing.T) {
+			m := stpbcast.NewParagon(4, 4)
+			s, err := stpbcast.Open(m, engine, stpbcast.SessionOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+
+			chaos := stpbcast.NewTraceRecorder(0)
+			plan := &stpbcast.FaultPlan{Seed: 7, Duplicate: 1.0}
+			res1, err := s.Run(sessionCfg, stpbcast.RunOptions{
+				Faults:      plan,
+				Trace:       chaos,
+				RecvTimeout: 10 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("chaos run: %v", err)
+			}
+			checkBundles(t, res1, m.P(), sessionCfg.Sources)
+			if len(res1.Faults) == 0 {
+				t.Fatal("duplicate-everything plan injected nothing")
+			}
+			if chaos.Count("fault") == 0 {
+				t.Fatal("fault events missing from the chaos run's tracer")
+			}
+			chaosEvents := len(chaos.Events)
+
+			clean := stpbcast.NewTraceRecorder(0)
+			res2, err := s.Run(sessionCfg, stpbcast.RunOptions{
+				Trace:       clean,
+				RecvTimeout: 10 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("clean run: %v", err)
+			}
+			checkBundles(t, res2, m.P(), sessionCfg.Sources)
+			if len(res2.Faults) != 0 {
+				t.Fatalf("fault plan leaked into the next run: %d events", len(res2.Faults))
+			}
+			if n := clean.Count("fault"); n != 0 {
+				t.Fatalf("clean run's tracer recorded %d fault events", n)
+			}
+			if len(clean.Events) == 0 {
+				t.Fatal("clean run's tracer recorded nothing")
+			}
+			if len(chaos.Events) != chaosEvents {
+				t.Fatalf("second run appended to the first run's tracer: %d -> %d",
+					chaosEvents, len(chaos.Events))
+			}
+
+			stats := s.Stats()
+			if stats.Runs != 2 || stats.Failures != 0 {
+				t.Fatalf("stats = %+v, want 2 runs, 0 failures", stats)
+			}
+			if stats.Bytes <= 0 {
+				t.Fatalf("stats counted no payload bytes: %+v", stats)
+			}
+		})
+	}
+}
+
+// TestSessionIsolationSim: the simulator has no warm engine state, so a
+// session must return results identical across back-to-back runs and
+// identical to the one-shot path, with per-run tracers kept apart.
+func TestSessionIsolationSim(t *testing.T) {
+	m := stpbcast.NewParagon(4, 4)
+	s, err := stpbcast.Open(m, stpbcast.EngineSim, stpbcast.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	recA := stpbcast.NewTraceRecorder(0)
+	res1, err := s.Run(sessionCfg, stpbcast.RunOptions{Trace: recA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventsA := len(recA.Events)
+	if eventsA == 0 {
+		t.Fatal("first run traced nothing")
+	}
+
+	recB := stpbcast.NewTraceRecorder(0)
+	res2, err := s.Run(sessionCfg, stpbcast.RunOptions{Trace: recB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Elapsed != res2.Elapsed || !reflect.DeepEqual(res1.Params, res2.Params) {
+		t.Fatalf("simulator runs not deterministic across a session:\n%v %+v\n%v %+v",
+			res1.Elapsed, res1.Params, res2.Elapsed, res2.Params)
+	}
+	if len(recA.Events) != eventsA {
+		t.Fatal("second run appended to the first run's tracer")
+	}
+	if len(recB.Events) != eventsA {
+		t.Fatalf("tracers disagree across identical runs: %d vs %d", eventsA, len(recB.Events))
+	}
+
+	// A session run matches the one-shot unified path exactly.
+	oneShot, err := stpbcast.Run(m, stpbcast.EngineSim, sessionCfg, stpbcast.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneShot.Elapsed != res1.Elapsed || !reflect.DeepEqual(oneShot.Params, res1.Params) {
+		t.Fatal("session sim run diverged from one-shot Run")
+	}
+
+	// Fault plans are meaningless under the simulator and must be
+	// rejected, not ignored.
+	if _, err := s.Run(sessionCfg, stpbcast.RunOptions{Faults: &stpbcast.FaultPlan{Drop: 0.5}}); err == nil {
+		t.Fatal("simulator accepted a fault plan")
+	}
+}
+
+// TestSessionKillThenReconnect is the acceptance scenario: an injected
+// rank kill aborts a TCP run (tearing connections down), and the very
+// next Run over the same session succeeds after a transparent mesh
+// rebuild, visible in Stats().Reconnects.
+func TestSessionKillThenReconnect(t *testing.T) {
+	m := stpbcast.NewParagon(2, 2)
+	s, err := stpbcast.Open(m, stpbcast.EngineTCP, stpbcast.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	_, err = s.Run(sessionCfg, stpbcast.RunOptions{
+		Faults:      &stpbcast.FaultPlan{Kills: []stpbcast.FaultKill{{Rank: 1, Op: 2}}},
+		RecvTimeout: 2 * time.Second,
+	})
+	if err == nil || !strings.Contains(err.Error(), "kill") {
+		t.Fatalf("killed run misreported: %v", err)
+	}
+
+	res, err := s.Run(sessionCfg, stpbcast.RunOptions{RecvTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("run after kill failed: %v", err)
+	}
+	checkBundles(t, res, m.P(), sessionCfg.Sources)
+
+	stats, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs != 2 || stats.Failures != 1 {
+		t.Fatalf("stats = %+v, want 2 runs, 1 failure", stats)
+	}
+	if stats.Reconnects != 1 {
+		t.Fatalf("reconnects = %d, want 1", stats.Reconnects)
+	}
+
+	// The session is closed: further runs must error, Close stays
+	// idempotent and keeps reporting the final stats.
+	if _, err := s.Run(sessionCfg, stpbcast.RunOptions{}); err == nil {
+		t.Fatal("Run on closed session accepted")
+	}
+	again, err := s.Close()
+	if err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if again != stats {
+		t.Fatalf("Close not idempotent: %+v vs %+v", again, stats)
+	}
+}
+
+// TestSessionManyRunsTCP reuses one small mesh for many broadcasts with
+// varying configs — the serving-workload shape the session API exists
+// for.
+func TestSessionManyRunsTCP(t *testing.T) {
+	m := stpbcast.NewParagon(2, 2)
+	s, err := stpbcast.Open(m, stpbcast.EngineTCP, stpbcast.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	algs := []string{"Br_Lin", "Br_xy_source", "Repos_xy_source"}
+	for i := 0; i < 12; i++ {
+		cfg := stpbcast.Config{
+			Algorithm:    algs[i%len(algs)],
+			Distribution: "E",
+			Sources:      2,
+			MsgBytes:     32 * (i + 1),
+		}
+		res, err := s.Run(cfg, stpbcast.RunOptions{RecvTimeout: 10 * time.Second})
+		if err != nil {
+			t.Fatalf("run %d (%s): %v", i, cfg.Algorithm, err)
+		}
+		checkBundles(t, res, m.P(), cfg.Sources)
+	}
+	if st := s.Stats(); st.Runs != 12 || st.Failures != 0 || st.Reconnects != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestDeprecatedWrappersMatchUnified asserts every deprecated facade
+// variant returns results identical to the unified Run path it wraps.
+func TestDeprecatedWrappersMatchUnified(t *testing.T) {
+	m := stpbcast.NewParagon(4, 4)
+	cfg := sessionCfg
+
+	t.Run("Simulate", func(t *testing.T) {
+		old, err := stpbcast.Simulate(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unified, err := stpbcast.Run(m, stpbcast.EngineSim, cfg, stpbcast.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := stpbcast.SimResult{
+			Elapsed:       unified.Elapsed,
+			Params:        unified.Params,
+			ActiveProfile: unified.ActiveProfile,
+			HotLinks:      unified.HotLinks,
+			NodeLoad:      unified.NodeLoad,
+		}
+		if !reflect.DeepEqual(*old, want) {
+			t.Fatalf("Simulate diverged from unified Run:\nold %+v\nnew %+v", *old, want)
+		}
+	})
+
+	t.Run("SimulateWith", func(t *testing.T) {
+		alg, err := stpbcast.AlgorithmByName("Br_xy_source")
+		if err != nil {
+			t.Fatal(err)
+		}
+		old, err := stpbcast.SimulateWith(m, alg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unified, err := stpbcast.Run(m, stpbcast.EngineSim, cfg, stpbcast.RunOptions{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if old.Elapsed != unified.Elapsed || !reflect.DeepEqual(old.Params, unified.Params) {
+			t.Fatal("SimulateWith diverged from unified Run with RunOptions.Algorithm")
+		}
+	})
+
+	t.Run("SimulateTraced", func(t *testing.T) {
+		old, err := stpbcast.SimulateTraced(m, cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := stpbcast.NewTraceRecorder(0)
+		unified, err := stpbcast.Run(m, stpbcast.EngineSim, cfg, stpbcast.RunOptions{Trace: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if old.Trace == nil || unified.Trace != rec {
+			t.Fatal("trace recorder not threaded through")
+		}
+		if len(old.Trace.Events) != len(rec.Events) {
+			t.Fatalf("traced event counts diverged: %d vs %d",
+				len(old.Trace.Events), len(rec.Events))
+		}
+	})
+
+	t.Run("RunLiveOpts", func(t *testing.T) {
+		payload := func(rank int) []byte { return []byte{byte(rank), 0xAB} }
+		old, err := stpbcast.RunLiveOpts(m, cfg, payload, stpbcast.RunOptions{RecvTimeout: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		unified, err := stpbcast.Run(m, stpbcast.EngineLive, cfg, stpbcast.RunOptions{
+			Payload:     payload,
+			RecvTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(old.Bundles, unified.Bundles) {
+			t.Fatal("RunLiveOpts bundles diverged from unified Run")
+		}
+		if !reflect.DeepEqual(old.Faults, unified.Faults) {
+			t.Fatal("RunLiveOpts faults diverged from unified Run")
+		}
+	})
+
+	t.Run("RunTCPOpts", func(t *testing.T) {
+		small := stpbcast.NewParagon(2, 2)
+		payload := func(rank int) []byte { return []byte{0xCD, byte(rank)} }
+		scfg := stpbcast.Config{Algorithm: "Br_Lin", Distribution: "E", Sources: 2, MsgBytes: 2}
+		old, err := stpbcast.RunTCPOpts(small, scfg, payload, stpbcast.RunOptions{RecvTimeout: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		unified, err := stpbcast.Run(small, stpbcast.EngineTCP, scfg, stpbcast.RunOptions{
+			Payload:     payload,
+			RecvTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(old.Bundles, unified.Bundles) {
+			t.Fatal("RunTCPOpts bundles diverged from unified Run")
+		}
+	})
+}
+
+// TestConfigValidate table-tests the shared validation entrypoint.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     stpbcast.Config
+		wantErr string
+	}{
+		{"zero value", stpbcast.Config{}, ""},
+		{"valid", sessionCfg, ""},
+		{"negative bytes", stpbcast.Config{Algorithm: "Br_Lin", Distribution: "E", Sources: 2, MsgBytes: -1}, "negative message length"},
+		{"very negative", stpbcast.Config{MsgBytes: -99999}, "negative message length"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// Every entrypoint rejects the invalid config the same way.
+	m := stpbcast.NewParagon(4, 4)
+	bad := stpbcast.Config{Algorithm: "Br_Lin", Distribution: "E", Sources: 2, MsgBytes: -1}
+	if _, err := stpbcast.Plan(m, bad); err == nil || !strings.Contains(err.Error(), "negative message length") {
+		t.Fatalf("Plan: %v", err)
+	}
+	if _, err := stpbcast.Run(m, stpbcast.EngineSim, bad, stpbcast.RunOptions{}); err == nil || !strings.Contains(err.Error(), "negative message length") {
+		t.Fatalf("Run: %v", err)
+	}
+	s, err := stpbcast.Open(m, stpbcast.EngineSim, stpbcast.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Run(bad, stpbcast.RunOptions{}); err == nil || !strings.Contains(err.Error(), "negative message length") {
+		t.Fatalf("Session.Run: %v", err)
+	}
+	if st := s.Stats(); st.Runs != 0 {
+		t.Fatalf("rejected config counted as a run: %+v", st)
+	}
+}
+
+// TestEngineNames pins the Engine <-> name mapping the CLI relies on.
+func TestEngineNames(t *testing.T) {
+	for _, e := range []stpbcast.Engine{stpbcast.EngineSim, stpbcast.EngineLive, stpbcast.EngineTCP} {
+		got, err := stpbcast.ParseEngine(e.String())
+		if err != nil || got != e {
+			t.Fatalf("ParseEngine(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if _, err := stpbcast.ParseEngine("mpi"); err == nil {
+		t.Fatal("unknown engine name accepted")
+	}
+	if s := stpbcast.Engine(42).String(); !strings.Contains(s, "42") {
+		t.Fatalf("out-of-range engine String() = %q", s)
+	}
+}

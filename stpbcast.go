@@ -25,13 +25,24 @@
 // # Quick start
 //
 //	m := stpbcast.NewParagon(10, 10)
-//	res, err := stpbcast.Simulate(m, stpbcast.Config{
+//	res, err := stpbcast.Run(m, stpbcast.EngineSim, stpbcast.Config{
 //		Algorithm:    "Br_xy_source",
 //		Distribution: "E",
 //		Sources:      30,
 //		MsgBytes:     4096,
-//	})
+//	}, stpbcast.RunOptions{})
 //	// res.Elapsed is the simulated broadcast time.
+//
+// Run is the unified one-shot entrypoint for all three engines
+// (EngineSim, EngineLive, EngineTCP). For many broadcasts back to back,
+// open a persistent Session instead and amortize the engine setup:
+//
+//	s, err := stpbcast.Open(m, stpbcast.EngineTCP, stpbcast.SessionOptions{})
+//	defer s.Close()
+//	for i := 0; i < 100; i++ {
+//		res, err := s.Run(cfg, stpbcast.RunOptions{RecvTimeout: 5 * time.Second})
+//		// ...
+//	}
 //
 // See examples/ for runnable programs, DESIGN.md for the system
 // inventory, and EXPERIMENTS.md for paper-vs-measured results.
@@ -44,18 +55,15 @@ import (
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/faults"
-	"repro/internal/live"
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/plan"
-	"repro/internal/sim"
-	"repro/internal/tcp"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -141,6 +149,19 @@ type Config struct {
 	MsgBytesFor func(rank int) int
 }
 
+// Validate checks the machine-independent configuration invariants —
+// currently that the message length is non-negative. Machine-dependent
+// checks (distribution names, source counts and ranks) surface when the
+// config is resolved against a machine at run time. Every entrypoint —
+// Plan, Run, Session.Run and the deprecated one-shot wrappers — calls
+// Validate exactly once.
+func (c Config) Validate() error {
+	if c.MsgBytes < 0 {
+		return fmt.Errorf("stpbcast: negative message length %d", c.MsgBytes)
+	}
+	return nil
+}
+
 // spec resolves the configuration against a machine.
 func (c Config) spec(m *Machine) (core.Spec, error) {
 	var sources []int
@@ -187,6 +208,9 @@ var defaultPlanner = plan.New(plan.Options{Cache: plan.NewMemCache(0)})
 // without probing. For variable-length runs (MsgBytesFor) the planner
 // prices the longest source message.
 func Plan(m *Machine, cfg Config) (*PlanDecision, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	spec, err := cfg.spec(m)
 	if err != nil {
 		return nil, err
@@ -194,10 +218,9 @@ func Plan(m *Machine, cfg Config) (*PlanDecision, error) {
 	return planFor(m, cfg, spec)
 }
 
+// planFor assumes cfg has already passed Validate (every entrypoint
+// validates once before resolving).
 func planFor(m *Machine, cfg Config, spec core.Spec) (*PlanDecision, error) {
-	if cfg.MsgBytes < 0 {
-		return nil, fmt.Errorf("stpbcast: negative message length %d", cfg.MsgBytes)
-	}
 	msgLen := cfg.MsgBytes
 	distName := ""
 	if cfg.SourceRanks == nil {
@@ -234,7 +257,31 @@ func resolveAlgorithm(m *Machine, cfg Config, spec core.Spec) (Algorithm, error)
 	return core.ByName(dec.Algorithm)
 }
 
+// TraceRecorder is the concurrency-safe event recorder behind
+// RunOptions.Trace and the results' Trace fields: it retains the
+// engine's unified event stream (every send, recv, wait, barrier and
+// injected fault) and exports it via WriteJSON/WriteChrome/Summary. Use
+// NewTraceRecorder to build one — the tracing API is fully usable
+// through these public names.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder returns a recorder retaining at most cap events
+// (0 keeps all; past the cap, events are counted as Dropped).
+func NewTraceRecorder(cap int) *TraceRecorder { return trace.NewRecorder(cap) }
+
+// TraceEvent is one recorded engine event (see TraceRecorder.Trace and
+// the export helpers).
+type TraceEvent = obs.Event
+
+// obsTracer is the engine-facing tracer interface (internal alias so the
+// session plumbing can pass a typed nil).
+type obsTracer = obs.Tracer
+
 // SimResult is the outcome of a simulated broadcast.
+//
+// Deprecated: SimResult only remains as the return type of the
+// deprecated Simulate variants; the unified Run/Session.Run return
+// Result, which carries the same fields.
 type SimResult struct {
 	// Elapsed is the simulated makespan.
 	Elapsed time.Duration
@@ -243,9 +290,8 @@ type SimResult struct {
 	// ActiveProfile is the number of processors communicating in each
 	// algorithm iteration.
 	ActiveProfile []int
-	// Trace holds the recorded events when Config tracing was requested
-	// via SimulateTraced.
-	Trace *trace.Recorder
+	// Trace holds the recorded events when tracing was requested.
+	Trace *TraceRecorder
 	// HotLinks are the ten busiest directed links of the run, most
 	// loaded first — the congestion hot spots.
 	HotLinks []LinkStats
@@ -257,91 +303,63 @@ type SimResult struct {
 // Simulate runs one broadcast on the simulated machine and returns timing
 // and metrics. The run is deterministic: identical inputs give identical
 // results.
+//
+// Deprecated: Use Run(m, EngineSim, cfg, RunOptions{}); Simulate is a
+// thin wrapper over it and returns identical results.
 func Simulate(m *Machine, cfg Config) (*SimResult, error) {
-	return simulate(m, cfg, nil, nil)
+	r, err := Run(m, EngineSim, cfg, RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return r.simResult(), nil
 }
 
 // SimulateWith is Simulate with an explicit Algorithm value instead of a
 // registry name — for parameterized algorithms such as core.BrDims,
 // core.ReposTo or core.WithDiscovery. cfg.Algorithm is ignored.
+//
+// Deprecated: Use Run with RunOptions.Algorithm; SimulateWith is a thin
+// wrapper over it and returns identical results.
 func SimulateWith(m *Machine, alg Algorithm, cfg Config) (*SimResult, error) {
-	return simulate(m, cfg, nil, alg)
+	r, err := Run(m, EngineSim, cfg, RunOptions{Algorithm: alg})
+	if err != nil {
+		return nil, err
+	}
+	return r.simResult(), nil
 }
 
 // SimulateTraced is Simulate with event recording (at most cap events
 // retained; 0 keeps all).
+//
+// Deprecated: Use Run with RunOptions.Trace set to NewTraceRecorder(cap);
+// SimulateTraced is a thin wrapper over it and returns identical results.
 func SimulateTraced(m *Machine, cfg Config, cap int) (*SimResult, error) {
-	rec := trace.NewRecorder(cap)
-	return simulate(m, cfg, rec, nil)
+	r, err := Run(m, EngineSim, cfg, RunOptions{Trace: NewTraceRecorder(cap)})
+	if err != nil {
+		return nil, err
+	}
+	return r.simResult(), nil
 }
 
 // SimulateInto is Simulate with event recording into a caller-provided
-// recorder — use trace.NewRecorder to cap retention, and the recorder's
+// recorder — use NewTraceRecorder to cap retention, and the recorder's
 // WriteJSON/WriteChrome to export the stream afterwards.
-func SimulateInto(m *Machine, cfg Config, rec *trace.Recorder) (*SimResult, error) {
-	return simulate(m, cfg, rec, nil)
-}
-
-func simulate(m *Machine, cfg Config, rec *trace.Recorder, alg Algorithm) (*SimResult, error) {
-	spec, err := cfg.spec(m)
+//
+// Deprecated: Use Run with RunOptions.Trace; SimulateInto is a thin
+// wrapper over it and returns identical results.
+func SimulateInto(m *Machine, cfg Config, rec *TraceRecorder) (*SimResult, error) {
+	r, err := Run(m, EngineSim, cfg, RunOptions{Trace: rec})
 	if err != nil {
 		return nil, err
 	}
-	if alg == nil {
-		alg, err = resolveAlgorithm(m, cfg, spec)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if cfg.MsgBytes < 0 {
-		return nil, fmt.Errorf("stpbcast: negative message length %d", cfg.MsgBytes)
-	}
-	nw, err := m.NewNetwork()
-	if err != nil {
-		return nil, err
-	}
-	// The simulator prices message lengths only, so sources enter with
-	// length-only parts — no payload buffers are allocated.
-	lenFor := func(rank int) int { return cfg.MsgBytes }
-	if cfg.MsgBytesFor != nil {
-		lenFor = func(rank int) int {
-			if n := cfg.MsgBytesFor(rank); n > 0 {
-				return n
-			}
-			return 0
-		}
-	}
-	msgLens := make(map[int]int, len(spec.Sources))
-	for _, src := range spec.Sources {
-		msgLens[src] = lenFor(src)
-	}
-	opts := sim.Options{}
-	if rec != nil {
-		opts.Tracer = rec
-	}
-	res, err := sim.Run(nw, func(pr *sim.Proc) {
-		mine := core.InitialMessageLen(spec, pr.Rank(), msgLens[pr.Rank()])
-		alg.Run(pr, spec, mine)
-	}, opts)
-	if err != nil {
-		return nil, err
-	}
-	loads := nw.NodeLoad()
-	nodeLoad := make([]time.Duration, len(loads))
-	for i, v := range loads {
-		nodeLoad[i] = v.Duration()
-	}
-	return &SimResult{
-		Elapsed:       res.Elapsed.Duration(),
-		Params:        metrics.FromResult(res),
-		ActiveProfile: metrics.ActiveProfile(res),
-		Trace:         rec,
-		HotLinks:      nw.HotLinks(10),
-		NodeLoad:      nodeLoad,
-	}, nil
+	return r.simResult(), nil
 }
 
 // LiveResult is the outcome of a live (goroutine) broadcast run.
+//
+// Deprecated: LiveResult only remains as the return type of the
+// deprecated RunLive/RunTCP variants; the unified Run/Session.Run
+// return Result, which carries the same fields.
 type LiveResult struct {
 	// Elapsed is the wall-clock duration.
 	Elapsed time.Duration
@@ -379,82 +397,56 @@ const (
 	FaultCorrupt   = faults.Corrupt
 )
 
-// RunOptions harden a RunLiveOpts/RunTCPOpts run. The zero value means
-// no deadlines, no cancellation and no fault injection — the behaviour
-// of plain RunLive/RunTCP.
+// RunOptions configure one broadcast run through the unified Run and
+// Session.Run entrypoints (and their deprecated wrappers). The zero
+// value means: the algorithm named by Config, synthesized payloads, no
+// deadlines, no cancellation, no fault injection, no tracing.
 type RunOptions struct {
 	// Context, when non-nil, cancels the run.
 	Context context.Context
 	// RunTimeout bounds the whole run; RecvTimeout bounds any single
 	// blocking receive or barrier wait. Either converts a hung or dead
 	// rank into a returned error naming the blocked rank and peer.
+	// Ignored by EngineSim (the simulator cannot hang).
 	RunTimeout  time.Duration
 	RecvTimeout time.Duration
-	// Faults, when non-nil, injects the plan's faults into the run.
-	// Set RecvTimeout (or RunTimeout) alongside plans that drop or
-	// kill, so induced hangs abort with a diagnostic instead of
-	// blocking forever.
+	// Algorithm, when non-nil, overrides Config.Algorithm with an
+	// explicit Algorithm value — for parameterized algorithms such as
+	// core.BrDims, core.ReposTo or core.WithDiscovery that have no
+	// registry name.
+	Algorithm Algorithm
+	// Payload, when non-nil, supplies each source rank's message bytes
+	// on the real-byte engines (it is only called for source ranks).
+	// When nil, each source sends Config.MsgBytes (or MsgBytesFor)
+	// bytes of its rank value. Ignored by EngineSim, which prices
+	// lengths only.
+	Payload func(rank int) []byte
+	// Faults, when non-nil, injects the plan's faults into the run
+	// (real-byte engines only; EngineSim rejects fault plans). Set
+	// RecvTimeout (or RunTimeout) alongside plans that drop or kill, so
+	// induced hangs abort with a diagnostic instead of blocking
+	// forever.
 	Faults *FaultPlan
 	// Trace, when non-nil, records the engine's unified event stream —
 	// every send, recv, wait and barrier, plus any injected faults —
-	// with wall-clock timestamps. The recorder is concurrency-safe, so
-	// one recorder sees all ranks. Leave nil for zero tracing overhead.
-	Trace *trace.Recorder
+	// into the recorder (see NewTraceRecorder). The recorder is
+	// concurrency-safe, so one recorder sees all ranks. Leave nil for
+	// zero tracing overhead.
+	Trace *TraceRecorder
 	// DialAttempts/DialBackoff tune the TCP engine's connection-setup
-	// retry (ignored by the live engine); zero means the defaults.
+	// retry for the one-shot Run (ignored by the other engines); zero
+	// means the defaults. Sessions configure these at Open instead.
 	DialAttempts int
 	DialBackoff  time.Duration
-}
-
-// realRun prepares the engine-independent part of a real-byte run: the
-// resolved spec and algorithm, the optional fault injector, the shared
-// bundle collector, and the per-rank body.
-func realRun(m *Machine, cfg Config, payload func(rank int) []byte, opts RunOptions) (func(c comm.Comm), []map[int][]byte, *faults.Injector, error) {
-	spec, err := cfg.spec(m)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	alg, err := resolveAlgorithm(m, cfg, spec)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	var inj *faults.Injector
-	if opts.Faults != nil {
-		inj = faults.New(*opts.Faults)
-	}
-	bundles := make([]map[int][]byte, m.P())
-	body := func(c comm.Comm) {
-		rank := c.Rank()
-		if inj != nil {
-			c = inj.Wrap(c)
-		}
-		var mine comm.Message
-		if spec.IsSource(rank) {
-			mine = comm.Message{Parts: []comm.Part{{Origin: rank, Data: payload(rank)}}}
-		}
-		out := alg.Run(c, spec, mine)
-		got := make(map[int][]byte, len(out.Parts))
-		for _, part := range out.Parts {
-			got[part.Origin] = part.Data
-		}
-		bundles[rank] = got
-	}
-	return body, bundles, inj, nil
-}
-
-// liveResult assembles the public result from an engine run.
-func liveResult(elapsed time.Duration, bundles []map[int][]byte, inj *faults.Injector) *LiveResult {
-	res := &LiveResult{Elapsed: elapsed, Bundles: bundles}
-	if inj != nil {
-		res.Faults = inj.Events()
-	}
-	return res
 }
 
 // RunLive executes the broadcast on the live goroutine engine with real
 // payload bytes. payload(rank) supplies each source's message; it is only
 // called for source ranks. The machine's logical mesh defines the rank
 // space; its cost model is not used (live runs measure wall-clock only).
+//
+// Deprecated: Use Run(m, EngineLive, cfg, RunOptions{Payload: payload});
+// RunLive is a thin wrapper over it and returns identical results.
 func RunLive(m *Machine, cfg Config, payload func(rank int) []byte) (*LiveResult, error) {
 	return RunLiveOpts(m, cfg, payload, RunOptions{})
 }
@@ -463,27 +455,16 @@ func RunLive(m *Machine, cfg Config, payload func(rank int) []byte) (*LiveResult
 // injection (see RunOptions). With a deadline configured, a hung, dead
 // or killed rank becomes a returned error naming the blocked rank and
 // peer — the run never hangs silently.
+//
+// Deprecated: Use Run(m, EngineLive, cfg, opts) with RunOptions.Payload;
+// RunLiveOpts is a thin wrapper over it and returns identical results.
 func RunLiveOpts(m *Machine, cfg Config, payload func(rank int) []byte, opts RunOptions) (*LiveResult, error) {
-	body, bundles, inj, err := realRun(m, cfg, payload, opts)
+	opts.Payload = payload
+	r, err := Run(m, EngineLive, cfg, opts)
 	if err != nil {
 		return nil, err
 	}
-	lopts := live.Options{
-		Context:     opts.Context,
-		RunTimeout:  opts.RunTimeout,
-		RecvTimeout: opts.RecvTimeout,
-	}
-	if opts.Trace != nil {
-		lopts.Tracer = opts.Trace
-		if inj != nil {
-			inj.SetTracer(opts.Trace, time.Now())
-		}
-	}
-	res, err := live.RunOpts(m.P(), lopts, func(pr *live.Proc) { body(pr) })
-	if err != nil {
-		return nil, err
-	}
-	return liveResult(res.Elapsed, bundles, inj), nil
+	return r.liveResult(), nil
 }
 
 // RunTCP executes the broadcast over real loopback TCP sockets — one
@@ -491,6 +472,11 @@ func RunLiveOpts(m *Machine, cfg Config, payload func(rank int) []byte, opts Run
 // connections — and verifies delivery like RunLive. It is the
 // distributed-transport engine; use it to exercise the algorithms over a
 // transport with real serialization.
+//
+// Deprecated: Use Run(m, EngineTCP, cfg, RunOptions{Payload: payload}) —
+// or, for many broadcasts back to back, Open a Session to reuse the
+// connection mesh. RunTCP is a thin wrapper over the unified path and
+// returns identical results.
 func RunTCP(m *Machine, cfg Config, payload func(rank int) []byte) (*LiveResult, error) {
 	return RunTCPOpts(m, cfg, payload, RunOptions{})
 }
@@ -500,29 +486,18 @@ func RunTCP(m *Machine, cfg Config, payload func(rank int) []byte) (*LiveResult,
 // are absorbed by retry with exponential backoff; with a deadline
 // configured, a hung, dead or killed rank becomes a returned error
 // naming the blocked rank and peer.
+//
+// Deprecated: Use Run(m, EngineTCP, cfg, opts) with RunOptions.Payload —
+// or, for many broadcasts back to back, Open a Session to reuse the
+// connection mesh. RunTCPOpts is a thin wrapper over the unified path
+// and returns identical results.
 func RunTCPOpts(m *Machine, cfg Config, payload func(rank int) []byte, opts RunOptions) (*LiveResult, error) {
-	body, bundles, inj, err := realRun(m, cfg, payload, opts)
+	opts.Payload = payload
+	r, err := Run(m, EngineTCP, cfg, opts)
 	if err != nil {
 		return nil, err
 	}
-	topts := tcp.Options{
-		Context:      opts.Context,
-		RunTimeout:   opts.RunTimeout,
-		RecvTimeout:  opts.RecvTimeout,
-		DialAttempts: opts.DialAttempts,
-		DialBackoff:  opts.DialBackoff,
-	}
-	if opts.Trace != nil {
-		topts.Tracer = opts.Trace
-		if inj != nil {
-			inj.SetTracer(opts.Trace, time.Now())
-		}
-	}
-	res, err := tcp.RunOpts(m.P(), topts, func(pr *tcp.Proc) { body(pr) })
-	if err != nil {
-		return nil, err
-	}
-	return liveResult(res.Elapsed, bundles, inj), nil
+	return r.liveResult(), nil
 }
 
 // Experiment regenerates one table or figure of the paper (see
