@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test race chaos fuzz-seeds bench bench-baseline bench-all trace-smoke api api-check ci
+.PHONY: all fmt vet build test race chaos fuzz-seeds bench bench-baseline bench-all trace-smoke daemon-smoke api api-check ci
 
 all: ci
 
@@ -68,6 +68,12 @@ trace-smoke:
 	$(GO) run ./cmd/stptrace -validate .trace-smoke/*.json .trace-smoke/*.jsonl
 	@rm -rf .trace-smoke
 
+# End-to-end service smoke: start stpbcastd on a random port, run one
+# broadcast per engine through stpctl, check /metrics agrees, and drain
+# cleanly via /v1/shutdown.
+daemon-smoke:
+	sh scripts/daemon_smoke.sh
+
 # Golden public-API surface of the facade package. `make api` refreshes
 # the committed file after an intentional API change; `make api-check`
 # (run by CI) fails when the tree and api/stpbcast.txt disagree, so the
@@ -79,4 +85,4 @@ api:
 api-check:
 	$(GO) run ./cmd/stpapi -dir . -check api/stpbcast.txt
 
-ci: fmt vet build race fuzz-seeds trace-smoke api-check
+ci: fmt vet build race fuzz-seeds trace-smoke daemon-smoke api-check

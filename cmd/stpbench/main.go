@@ -11,9 +11,18 @@
 //	stpbench -chaos              # fault-injection sweep over both engines
 //	stpbench -chaos -seed 7 -engine tcp
 //	stpbench -session -repeat 200 -engine tcp   # warm-session vs one-shot throughput
+//	stpbench -daemon 127.0.0.1:7411 -conc 1,2,4,8 -requests 200 -engine tcp
+//	stpbench -daemon 127.0.0.1:7411 -rate 50 -duration 10s -out BENCH_daemon.json
+//
+// Flag combinations are validated up front: -list, -fig, -chaos,
+// -session and -daemon are mutually exclusive modes, and every other
+// flag belongs to exactly one of them (e.g. -repeat to -session, -seed
+// to -chaos, -conc/-rate/-out to -daemon). A flag set outside its mode
+// is a usage error (exit 2), never silently ignored.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,31 +30,57 @@ import (
 	"time"
 
 	stpbcast "repro"
+	"repro/internal/daemon"
 	"repro/internal/viz"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list the available experiments")
 	fig := flag.String("fig", "", "experiment id to run (e.g. fig3), or 'all'")
-	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
-	plot := flag.Bool("plot", false, "render each curve as an ASCII bar chart")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table (with -fig)")
+	plot := flag.Bool("plot", false, "render each curve as an ASCII bar chart (with -fig)")
 	chaos := flag.Bool("chaos", false, "run the fault-injection sweep on the real-byte engines")
-	seed := flag.Int64("seed", 1, "chaos schedule seed (same seed = same fault schedule)")
-	engine := flag.String("engine", "both", "chaos engine: live, tcp or both")
+	seed := flag.Int64("seed", 1, "chaos schedule seed (same seed = same fault schedule; with -chaos)")
+	engine := flag.String("engine", "", "engine: sim, live, tcp or both (with -chaos, -session or -daemon)")
 	parallel := flag.Int("parallel", 0, "max concurrent experiment cells (0 = GOMAXPROCS, 1 = serial); output is identical at every setting")
 	session := flag.Bool("session", false, "time -repeat back-to-back broadcasts over one warm Session vs the one-shot path")
-	repeat := flag.Int("repeat", 100, "broadcast count for -session")
+	repeat := flag.Int("repeat", 100, "broadcast count (with -session)")
+	daemonAddr := flag.String("daemon", "", "load-generate against a running stpbcastd at this address")
+	conc := flag.String("conc", "8", "closed-loop worker counts, comma-separated sweep (with -daemon)")
+	requests := flag.Int("requests", 200, "closed-loop requests per concurrency level (with -daemon)")
+	rate := flag.Float64("rate", 0, "open-loop arrivals per second; 0 = closed loop (with -daemon)")
+	duration := flag.Duration("duration", 5*time.Second, "open-loop duration (with -daemon -rate)")
+	rows := flag.Int("rows", 4, "daemon workload mesh rows (with -daemon)")
+	cols := flag.Int("cols", 4, "daemon workload mesh cols (with -daemon)")
+	alg := flag.String("alg", "Br_Lin", "daemon workload algorithm (with -daemon)")
+	dist := flag.String("dist", "E", "daemon workload source distribution (with -daemon)")
+	sources := flag.Int("s", 4, "daemon workload source count (with -daemon)")
+	msgBytes := flag.Int("bytes", 1024, "daemon workload per-source message bytes (with -daemon)")
+	tenant := flag.String("tenant", "stpbench", "daemon workload tenant name (with -daemon)")
+	out := flag.String("out", "", "write the load reports as JSON to this file (with -daemon)")
 	flag.Parse()
+
+	if err := validateFlags(); err != nil {
+		fmt.Fprintln(os.Stderr, "stpbench:", err)
+		fmt.Fprintln(os.Stderr)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	stpbcast.SetParallelism(*parallel)
 
 	switch {
+	case *daemonAddr != "":
+		if err := runDaemonLoad(*daemonAddr, *engine, *conc, *requests, *rate, *duration,
+			*rows, *cols, *alg, *dist, *sources, *msgBytes, *tenant, *out); err != nil {
+			fatal(err)
+		}
 	case *session:
-		if err := runSession(*engine, *repeat); err != nil {
+		if err := runSession(orBoth(*engine), *repeat); err != nil {
 			fatal(err)
 		}
 	case *chaos:
-		if err := runChaos(*seed, *engine); err != nil {
+		if err := runChaos(*seed, orBoth(*engine)); err != nil {
 			fatal(err)
 		}
 	case *list:
@@ -70,6 +105,138 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// orBoth maps the unset -engine to the historical "both" default of the
+// chaos and session modes.
+func orBoth(engine string) string {
+	if engine == "" {
+		return "both"
+	}
+	return engine
+}
+
+// flagModes maps every mode-specific flag to the single mode it belongs
+// to. Flags absent here (-parallel) are global.
+var flagModes = map[string]string{
+	"fig": "-fig", "csv": "-fig", "plot": "-fig",
+	"chaos": "-chaos", "seed": "-chaos",
+	"session": "-session", "repeat": "-session",
+	"list":   "-list",
+	"daemon": "-daemon", "conc": "-daemon", "requests": "-daemon", "rate": "-daemon",
+	"duration": "-daemon", "rows": "-daemon", "cols": "-daemon", "alg": "-daemon",
+	"dist": "-daemon", "s": "-daemon", "bytes": "-daemon", "tenant": "-daemon", "out": "-daemon",
+}
+
+// engineModes lists the modes -engine applies to, with the values each
+// accepts.
+var engineValues = map[string]map[string]bool{
+	"-chaos":   {"live": true, "tcp": true, "both": true},
+	"-session": {"sim": true, "live": true, "tcp": true, "both": true},
+	"-daemon":  {"sim": true, "live": true, "tcp": true},
+}
+
+// validateFlags rejects contradictory flag combinations up front with a
+// usage error instead of panicking or silently ignoring flags.
+func validateFlags() error {
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	// Exactly one mode may be requested.
+	mode := ""
+	for _, m := range []struct{ flag, mode string }{
+		{"list", "-list"}, {"fig", "-fig"}, {"chaos", "-chaos"},
+		{"session", "-session"}, {"daemon", "-daemon"},
+	} {
+		if !set[m.flag] {
+			continue
+		}
+		if mode != "" {
+			return fmt.Errorf("%s and %s are mutually exclusive modes", mode, m.mode)
+		}
+		mode = m.mode
+	}
+
+	// Mode-specific flags must not leak into other modes.
+	for name := range set {
+		owner, owned := flagModes[name]
+		if owned && owner != mode {
+			if mode == "" {
+				return fmt.Errorf("-%s requires %s mode", name, owner)
+			}
+			return fmt.Errorf("-%s belongs to %s mode, not %s", name, owner, mode)
+		}
+	}
+	if set["engine"] {
+		accepted, ok := engineValues[mode]
+		if !ok {
+			return fmt.Errorf("-engine applies to -chaos, -session and -daemon modes only")
+		}
+		val := flag.Lookup("engine").Value.String()
+		if !accepted[val] {
+			keys := make([]string, 0, len(accepted))
+			for k := range accepted {
+				keys = append(keys, k)
+			}
+			return fmt.Errorf("-engine %q invalid for %s mode (want one of %s)", val, mode, strings.Join(keys, ", "))
+		}
+	}
+
+	// Value sanity per mode.
+	switch mode {
+	case "-session":
+		if n := intFlag("repeat"); n <= 0 {
+			return fmt.Errorf("-repeat must be positive, got %d", n)
+		}
+	case "-daemon":
+		if n := intFlag("requests"); n <= 0 {
+			return fmt.Errorf("-requests must be positive, got %d", n)
+		}
+		if _, err := parseConcSweep(flag.Lookup("conc").Value.String()); err != nil {
+			return err
+		}
+		if set["rate"] && set["conc"] {
+			return fmt.Errorf("-rate (open loop) and -conc (closed loop) are mutually exclusive")
+		}
+		if set["duration"] && !set["rate"] {
+			return fmt.Errorf("-duration applies to open-loop runs only (set -rate)")
+		}
+	case "-fig":
+		if set["csv"] && set["plot"] {
+			return fmt.Errorf("-csv and -plot are mutually exclusive")
+		}
+	}
+	return nil
+}
+
+// intFlag reads a registered int flag's current value.
+func intFlag(name string) int {
+	g, ok := flag.Lookup(name).Value.(flag.Getter)
+	if !ok {
+		return 0
+	}
+	n, _ := g.Get().(int)
+	return n
+}
+
+// parseConcSweep parses "1,2,4,8" into worker counts.
+func parseConcSweep(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(part, "%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("-conc wants positive comma-separated worker counts, got %q", s)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-conc wants at least one worker count, got %q", s)
+	}
+	return out, nil
 }
 
 func runOne(e stpbcast.Experiment, csv, plot bool) error {
@@ -291,6 +458,83 @@ func firstLine(s string) string {
 		return s[:i]
 	}
 	return s
+}
+
+// runDaemonLoad hammers a running stpbcastd with the configured
+// workload — a closed-loop concurrency sweep by default, a fixed-rate
+// open loop with -rate — and reports req/s plus p50/p95/p99 latency per
+// level. With -out, the reports are also written as JSON
+// (BENCH_daemon.json in the reference runs).
+func runDaemonLoad(addr, engine, concList string, requests int, rate float64, duration time.Duration,
+	rows, cols int, alg, dist string, sources, msgBytes int, tenant, out string) error {
+	if engine == "" {
+		engine = "tcp"
+	}
+	base := addr
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	req := daemon.BroadcastRequest{
+		Engine:       engine,
+		Topology:     "paragon",
+		Rows:         rows,
+		Cols:         cols,
+		Algorithm:    alg,
+		Distribution: dist,
+		Sources:      sources,
+		MsgBytes:     msgBytes,
+		Tenant:       tenant,
+	}
+	fmt.Printf("load generator: %s %s %dx%d %s/%s s=%d %d B → %s\n",
+		engine, req.Topology, rows, cols, alg, dist, sources, msgBytes, base)
+
+	var reports []*daemon.LoadReport
+	if rate > 0 {
+		r, err := daemon.RunLoad(daemon.LoadSpec{
+			BaseURL: base, Request: req, Rate: rate, Duration: duration,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		reports = append(reports, r)
+	} else {
+		levels, err := parseConcSweep(concList)
+		if err != nil {
+			return err
+		}
+		for _, conc := range levels {
+			r, err := daemon.RunLoad(daemon.LoadSpec{
+				BaseURL: base, Request: req, Concurrency: conc, Requests: requests,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			reports = append(reports, r)
+		}
+	}
+	if out != "" {
+		doc := struct {
+			Workload daemon.BroadcastRequest `json:"workload"`
+			Reports  []*daemon.LoadReport    `json:"reports"`
+		}{Workload: req, Reports: reports}
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d report(s))\n", out, len(reports))
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -87,6 +87,13 @@ var registry []Experiment
 
 func register(e Experiment) { registry = append(registry, e) }
 
+// Register adds an experiment from outside the package. The figure CLIs
+// discover experiments only through the registry, so a package whose
+// runner cannot live here without an import cycle (internal/daemon's
+// figDaemon drives the facade's Session API) registers at init instead;
+// its experiment then appears exactly when that package is linked in.
+func Register(e Experiment) { register(e) }
+
 // Experiments returns every defined experiment, sorted by ID.
 func Experiments() []Experiment {
 	out := append([]Experiment(nil), registry...)

@@ -1,0 +1,45 @@
+package daemon
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestFigDaemonRegistered: linking this package must make the figure
+// visible to the experiment registry (it registers itself at init to
+// break the bench → daemon → repro → bench cycle).
+func TestFigDaemonRegistered(t *testing.T) {
+	e, err := bench.ByID("figDaemon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Run == nil {
+		t.Fatal("figDaemon registered without a Run func")
+	}
+}
+
+// TestFigDaemonShape is the acceptance check behind the figure: at one
+// representative concurrency level, the warm pool must serve the
+// closed-loop workload at ≥ 2× the rate of a fresh-session-per-request
+// baseline (the pool amortizes the O(p²) TCP mesh build; HTTP overhead
+// is why the bar is 2× here vs 3× for the raw session figure).
+func TestFigDaemonShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds 4x4 TCP meshes per request in the baseline")
+	}
+	const conc = 4
+	fresh, err := figDaemonLevel(conc, true)
+	if err != nil {
+		t.Fatalf("fresh baseline: %v", err)
+	}
+	pooled, err := figDaemonLevel(conc, false)
+	if err != nil {
+		t.Fatalf("pooled: %v", err)
+	}
+	t.Logf("fresh %.1f req/s, pooled %.1f req/s (%.2fx), pooled p95 %.2f ms",
+		fresh.ReqPerSec, pooled.ReqPerSec, pooled.ReqPerSec/fresh.ReqPerSec, pooled.P95Ms)
+	if pooled.ReqPerSec < 2*fresh.ReqPerSec {
+		t.Errorf("pooled %.1f req/s < 2x fresh %.1f req/s", pooled.ReqPerSec, fresh.ReqPerSec)
+	}
+}

@@ -1,0 +1,260 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testServer stands up an in-process daemon and returns its base URL.
+func testServer(t *testing.T, opts Options) (*Server, string) {
+	t.Helper()
+	srv := New(opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts.URL
+}
+
+// post issues one broadcast and returns the decoded response (status,
+// success body or error body).
+func post(t *testing.T, base string, req BroadcastRequest) (int, *BroadcastResponse, *ErrorResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/broadcast", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var out BroadcastResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, &out, nil
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("status %d with undecodable error body: %v", resp.StatusCode, err)
+	}
+	return resp.StatusCode, nil, &e
+}
+
+// TestEndToEndConcurrentAcrossKeys is the acceptance scenario: ≥8
+// concurrent broadcast requests across ≥2 session keys through the HTTP
+// API, all succeeding, with /metrics reflecting the run counts.
+func TestEndToEndConcurrentAcrossKeys(t *testing.T) {
+	_, base := testServer(t, Options{})
+	reqs := []BroadcastRequest{
+		{Engine: "sim", Rows: 4, Cols: 4, Algorithm: "Br_xy_source", Distribution: "E", Sources: 4, MsgBytes: 4096},
+		{Engine: "live", Rows: 3, Cols: 3, Algorithm: "Br_Lin", Distribution: "E", Sources: 3, MsgBytes: 256},
+		{Engine: "tcp", Rows: 2, Cols: 2, Algorithm: "Br_Lin", Distribution: "E", Sources: 2, MsgBytes: 128},
+	}
+	const perKey = 4 // 12 concurrent requests over 3 keys
+	var wg sync.WaitGroup
+	errs := make(chan error, len(reqs)*perKey)
+	for _, req := range reqs {
+		for i := 0; i < perKey; i++ {
+			wg.Add(1)
+			go func(req BroadcastRequest) {
+				defer wg.Done()
+				status, out, e := post(t, base, req)
+				if status != http.StatusOK {
+					errs <- fmt.Errorf("%s/%dx%d: status %d: %s", req.Engine, req.Rows, req.Cols, status, e.Error)
+					return
+				}
+				if out.ElapsedNs <= 0 {
+					errs <- fmt.Errorf("%s: non-positive elapsed %d", req.Engine, out.ElapsedNs)
+				}
+			}(req)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Every key served perKey runs over one warm session.
+	resp, err := http.Get(base + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sessions SessionsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sessions); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(sessions.Sessions) != len(reqs) {
+		t.Fatalf("%d warm sessions, want %d", len(sessions.Sessions), len(reqs))
+	}
+	for _, s := range sessions.Sessions {
+		if s.Runs != perKey {
+			t.Errorf("session %s served %d runs, want %d", s.Key, s.Runs, perKey)
+		}
+		if s.Failures != 0 {
+			t.Errorf("session %s reports %d failures", s.Key, s.Failures)
+		}
+	}
+
+	// /metrics agrees with what just happened.
+	metrics := getMetrics(t, base)
+	total := len(reqs) * perKey
+	wantLines := []string{
+		fmt.Sprintf("stpbcastd_requests_total %d", total),
+		fmt.Sprintf("stpbcastd_completed_total %d", total),
+		"stpbcastd_failed_total 0",
+		fmt.Sprintf("stpbcastd_sessions %d", len(reqs)),
+		fmt.Sprintf("stpbcastd_session_runs{key=\"sim/paragon/4x4\"} %d", perKey),
+		fmt.Sprintf("stpbcastd_session_runs{key=\"live/paragon/3x3\"} %d", perKey),
+		fmt.Sprintf("stpbcastd_session_runs{key=\"tcp/paragon/2x2\"} %d", perKey),
+		fmt.Sprintf("stpbcastd_tenant_requests_total{tenant=\"anonymous\"} %d", total),
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(metrics, want+"\n") {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func getMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestBroadcastRequestValidation(t *testing.T) {
+	_, base := testServer(t, Options{})
+	cases := []struct {
+		name string
+		req  BroadcastRequest
+		want string
+	}{
+		{"unknown engine", BroadcastRequest{Engine: "quantum", Rows: 2, Cols: 2}, "unknown engine"},
+		{"zero mesh", BroadcastRequest{Engine: "sim"}, "rows and cols"},
+		{"unknown algorithm", BroadcastRequest{Engine: "sim", Rows: 2, Cols: 2, Algorithm: "Br_Nope"}, "unknown algorithm"},
+		{"unknown distribution", BroadcastRequest{Engine: "sim", Rows: 2, Cols: 2, Distribution: "Z"}, "unknown distribution"},
+		{"negative bytes", BroadcastRequest{Engine: "sim", Rows: 2, Cols: 2, MsgBytes: -1}, "msg_bytes"},
+		{"kill on sim", BroadcastRequest{Engine: "sim", Rows: 2, Cols: 2, Kill: &KillSpec{Rank: 1, Op: 0}}, "real-byte engine"},
+		{"bad topology", BroadcastRequest{Engine: "sim", Topology: "dragonfly", Rows: 2, Cols: 2}, "unknown machine"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, _, e := post(t, base, tc.req)
+			// Topology errors surface at session open (500 carries the
+			// message too); everything else must be a 400.
+			if status == http.StatusOK {
+				t.Fatalf("accepted invalid request %+v", tc.req)
+			}
+			if !strings.Contains(e.Error, tc.want) {
+				t.Errorf("error %q does not mention %q", e.Error, tc.want)
+			}
+		})
+	}
+	// Unknown fields are rejected, so typos cannot silently become
+	// defaults.
+	resp, err := http.Post(base+"/v1/broadcast", "application/json",
+		strings.NewReader(`{"engine":"sim","rows":2,"cols":2,"msgbytes":1024}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field accepted with status %d", resp.StatusCode)
+	}
+}
+
+func TestAdmissionBackpressure(t *testing.T) {
+	s := New(Options{MaxInFlight: 2, TenantQuota: 1})
+	defer s.Close()
+
+	rel1, status, _ := s.admit("a")
+	if rel1 == nil {
+		t.Fatalf("first admit rejected with %d", status)
+	}
+	// Tenant "a" is at quota → 429; tenant "b" still fits.
+	if rel, status, _ := s.admit("a"); rel != nil {
+		t.Fatal("tenant over quota admitted")
+	} else if status != http.StatusTooManyRequests {
+		t.Fatalf("tenant over quota got %d, want 429", status)
+	}
+	rel2, status, _ := s.admit("b")
+	if rel2 == nil {
+		t.Fatalf("second tenant rejected with %d", status)
+	}
+	// Global cap reached → 503 even for a fresh tenant.
+	if rel, status, _ := s.admit("c"); rel != nil {
+		t.Fatal("admit over global cap succeeded")
+	} else if status != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap admit got %d, want 503", status)
+	}
+	rel1()
+	rel2()
+	// Capacity freed: the same tenant fits again.
+	rel3, status, _ := s.admit("a")
+	if rel3 == nil {
+		t.Fatalf("admit after release rejected with %d", status)
+	}
+	rel3()
+}
+
+func TestShutdownDrains(t *testing.T) {
+	srv, base := testServer(t, Options{})
+	if status, _, _ := post(t, base, BroadcastRequest{Engine: "sim", Rows: 2, Cols: 2}); status != http.StatusOK {
+		t.Fatalf("warm-up broadcast failed with %d", status)
+	}
+	resp, err := http.Post(base+"/v1/shutdown", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	select {
+	case <-srv.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+	status, _, e := post(t, base, BroadcastRequest{Engine: "sim", Rows: 2, Cols: 2})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("broadcast after drain got %d, want 503", status)
+	}
+	if !strings.Contains(e.Error, "draining") {
+		t.Errorf("post-drain error %q does not mention draining", e.Error)
+	}
+}
+
+func TestMethodChecks(t *testing.T) {
+	_, base := testServer(t, Options{})
+	resp, err := http.Get(base + "/v1/broadcast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/broadcast got %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/v1/shutdown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/shutdown got %d, want 405", resp.StatusCode)
+	}
+}

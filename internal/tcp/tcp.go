@@ -626,7 +626,7 @@ type Machine struct {
 	dialBackoff  time.Duration
 
 	epoch      uint32
-	reconnects int
+	reconnects atomic.Int64
 	closed     bool
 	dead       error // a failed mesh rebuild poisons the machine
 }
@@ -687,11 +687,11 @@ func NewMachine(p int, opts Options) (*Machine, error) {
 func (m *Machine) Size() int { return m.size }
 
 // Reconnects reports how many times the mesh has been rebuilt after an
-// abort or a between-runs connection failure.
+// abort or a between-runs connection failure. It is safe to call at any
+// time, including concurrently with a run in flight — it reads an atomic
+// counter and never waits on the machine's run lock.
 func (m *Machine) Reconnects() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.reconnects
+	return int(m.reconnects.Load())
 }
 
 // Close tears the machine down: listeners and connections are closed and
@@ -854,7 +854,7 @@ func (m *Machine) reconnect(ctx context.Context) error {
 	if err := m.connect(ctx); err != nil {
 		return err
 	}
-	m.reconnects++
+	m.reconnects.Add(1)
 	return nil
 }
 

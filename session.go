@@ -102,7 +102,17 @@ type SessionStats struct {
 // damaged it (counted in SessionStats.Reconnects).
 //
 // Run and Close serialize; a Session executes one run at a time.
+// Concurrent Run calls are safe — they queue. Stats is safe to call from
+// any goroutine at any moment, including while a run is in flight, and
+// never blocks behind one (the daemon's /v1/sessions and /metrics
+// endpoints poll it under load).
 type Session struct {
+	// runMu serializes Run and Close: one broadcast (or teardown) at a
+	// time per session.
+	runMu sync.Mutex
+	// mu guards stats and closed. It is only ever held for field access —
+	// never across an engine run — so Stats answers immediately even while
+	// a slow broadcast holds runMu.
 	mu     sync.Mutex
 	m      *Machine
 	engine Engine
@@ -150,7 +160,12 @@ func Open(m *Machine, engine Engine, opts SessionOptions) (*Session, error) {
 // Engine returns the engine the session was opened with.
 func (s *Session) Engine() Engine { return s.engine }
 
-// Stats returns the session's aggregate stats so far.
+// Stats returns the session's aggregate stats so far. It is safe for
+// concurrent use from any goroutine and does not block behind an
+// in-flight Run or Close: it reads the counters under a short-lived
+// field lock (TCP reconnects come from an atomic), so a monitoring
+// endpoint can poll it while a slow broadcast is executing. Counters
+// from a run still in flight appear only once that run completes.
 func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -163,8 +178,12 @@ func (s *Session) Stats() SessionStats {
 
 // Close tears the engine down (TCP listeners, connections and reader
 // pumps joined) and returns the session's aggregate stats. Close is
-// idempotent.
+// idempotent and safe for concurrent use with Run: it waits for an
+// in-flight run to finish, and a Run that arrives after Close reports
+// a closed-session error instead of touching the torn-down engine.
 func (s *Session) Close() (SessionStats, error) {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -187,12 +206,20 @@ func (s *Session) Close() (SessionStats, error) {
 // fault plan and tracer from opts, per-run deadlines. cfg may change
 // freely between runs (algorithm, distribution, message sizes) as long
 // as it targets the session's machine.
+//
+// Run is safe for concurrent use: a session executes one run at a time,
+// and concurrent callers queue in arrival order (the daemon multiplexes
+// concurrent requests onto one shared mesh exactly this way). Stats may
+// be read concurrently without waiting for the queue to drain.
 func (s *Session) Run(cfg Config, opts RunOptions) (*Result, error) {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil, errors.New("stpbcast: Run on closed session")
 	}
+	s.mu.Unlock()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -204,6 +231,8 @@ func (s *Session) Run(cfg Config, opts RunOptions) (*Result, error) {
 	} else {
 		res, sent, err = s.runReal(cfg, opts)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.stats.Runs++
 	if err != nil {
 		s.stats.Failures++

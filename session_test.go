@@ -387,6 +387,57 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
+// TestSessionStatsDuringRun: Stats() is documented as safe to call —
+// and non-blocking — while another goroutine is inside Run(). A poller
+// hammers Stats() (and the TCP machine's Reconnects()) concurrently
+// with a stream of runs; the race detector enforces the safety claim,
+// and the monotone run counter checks that snapshots are coherent.
+func TestSessionStatsDuringRun(t *testing.T) {
+	for _, engine := range []stpbcast.Engine{stpbcast.EngineLive, stpbcast.EngineTCP} {
+		t.Run(engine.String(), func(t *testing.T) {
+			m := stpbcast.NewParagon(2, 2)
+			s, err := stpbcast.Open(m, engine, stpbcast.SessionOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+
+			const runs = 15
+			cfg := stpbcast.Config{Algorithm: "Br_Lin", Distribution: "E", Sources: 2, MsgBytes: 128}
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; i < runs; i++ {
+					if _, err := s.Run(cfg, stpbcast.RunOptions{RecvTimeout: 10 * time.Second}); err != nil {
+						t.Errorf("run %d: %v", i, err)
+						return
+					}
+				}
+			}()
+
+			last := 0
+			for polling := true; polling; {
+				select {
+				case <-done:
+					polling = false
+				default:
+				}
+				st := s.Stats()
+				if st.Runs < last {
+					t.Fatalf("Stats().Runs went backwards: %d -> %d", last, st.Runs)
+				}
+				last = st.Runs
+				if st.Failures != 0 {
+					t.Fatalf("unexpected failures mid-stream: %+v", st)
+				}
+			}
+			if st := s.Stats(); st.Runs != runs {
+				t.Fatalf("final Stats().Runs = %d, want %d", st.Runs, runs)
+			}
+		})
+	}
+}
+
 // TestEngineNames pins the Engine <-> name mapping the CLI relies on.
 func TestEngineNames(t *testing.T) {
 	for _, e := range []stpbcast.Engine{stpbcast.EngineSim, stpbcast.EngineLive, stpbcast.EngineTCP} {

@@ -52,6 +52,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -90,6 +91,37 @@ func NewT3DRandom(p int, seed int64) *Machine { return machine.T3DRandom(p, seed
 // NewHypercube returns a 2^dim-processor binary hypercube with Paragon
 // cost parameters (extension machine for topology ablations).
 func NewHypercube(dim int) *Machine { return machine.HypercubeNX(dim) }
+
+// NewMachineByName constructs a machine from its CLI name and requested
+// logical mesh: "paragon" (NX), "paragon-mpi", "t3d" (rows·cols
+// processors on the torus; the T3D picks its own logical factorization)
+// or "hypercube" (rows·cols must be a power of two). It is the single
+// name-to-machine mapping shared by the daemon's session-pool keys and
+// the stpctl/stpbench topology flags.
+func NewMachineByName(kind string, rows, cols int) (*Machine, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("stpbcast: invalid machine size %d×%d (rows and cols must be positive)", rows, cols)
+	}
+	switch strings.ToLower(kind) {
+	case "paragon", "":
+		return machine.Paragon(rows, cols), nil
+	case "paragon-mpi":
+		return machine.ParagonMPI(rows, cols), nil
+	case "t3d":
+		return machine.T3D(rows * cols), nil
+	case "hypercube":
+		p := rows * cols
+		dim := 0
+		for 1<<dim < p {
+			dim++
+		}
+		if 1<<dim != p {
+			return nil, fmt.Errorf("stpbcast: hypercube needs a power-of-two processor count, got %d×%d = %d", rows, cols, p)
+		}
+		return machine.HypercubeNX(dim), nil
+	}
+	return nil, fmt.Errorf("stpbcast: unknown machine %q (want paragon, paragon-mpi, t3d or hypercube)", kind)
+}
 
 // Algorithm is one s-to-p broadcasting algorithm (see core for the suite).
 type Algorithm = core.Algorithm
