@@ -11,6 +11,7 @@
 //	stpbench -chaos              # fault-injection sweep over both engines
 //	stpbench -chaos -seed 7 -engine tcp
 //	stpbench -session -repeat 200 -engine tcp   # warm-session vs one-shot throughput
+//	stpbench -session -engine tcp -flush 512 -pipeline 4   # batched frames, 4 async runs in flight
 //	stpbench -daemon 127.0.0.1:7411 -conc 1,2,4,8 -requests 200 -engine tcp
 //	stpbench -daemon 127.0.0.1:7411 -rate 50 -duration 10s -out BENCH_daemon.json
 //
@@ -45,6 +46,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent experiment cells (0 = GOMAXPROCS, 1 = serial); output is identical at every setting")
 	session := flag.Bool("session", false, "time -repeat back-to-back broadcasts over one warm Session vs the one-shot path")
 	repeat := flag.Int("repeat", 100, "broadcast count (with -session)")
+	flush := flag.Int("flush", 0, "TCP small-frame batching threshold in bytes, 0 = off (with -session)")
+	pipeline := flag.Int("pipeline", 0, "submit session broadcasts via RunAsync with this many in flight, 0 = synchronous (with -session)")
 	daemonAddr := flag.String("daemon", "", "load-generate against a running stpbcastd at this address")
 	conc := flag.String("conc", "8", "closed-loop worker counts, comma-separated sweep (with -daemon)")
 	requests := flag.Int("requests", 200, "closed-loop requests per concurrency level (with -daemon)")
@@ -76,7 +79,7 @@ func main() {
 			fatal(err)
 		}
 	case *session:
-		if err := runSession(orBoth(*engine), *repeat); err != nil {
+		if err := runSession(orBoth(*engine), *repeat, *flush, *pipeline); err != nil {
 			fatal(err)
 		}
 	case *chaos:
@@ -121,7 +124,7 @@ func orBoth(engine string) string {
 var flagModes = map[string]string{
 	"fig": "-fig", "csv": "-fig", "plot": "-fig",
 	"chaos": "-chaos", "seed": "-chaos",
-	"session": "-session", "repeat": "-session",
+	"session": "-session", "repeat": "-session", "flush": "-session", "pipeline": "-session",
 	"list":   "-list",
 	"daemon": "-daemon", "conc": "-daemon", "requests": "-daemon", "rate": "-daemon",
 	"duration": "-daemon", "rows": "-daemon", "cols": "-daemon", "alg": "-daemon",
@@ -187,6 +190,12 @@ func validateFlags() error {
 	case "-session":
 		if n := intFlag("repeat"); n <= 0 {
 			return fmt.Errorf("-repeat must be positive, got %d", n)
+		}
+		if n := intFlag("flush"); n < 0 {
+			return fmt.Errorf("-flush must be non-negative, got %d", n)
+		}
+		if n := intFlag("pipeline"); n < 0 {
+			return fmt.Errorf("-pipeline must be non-negative, got %d", n)
 		}
 	case "-daemon":
 		if n := intFlag("requests"); n <= 0 {
@@ -278,8 +287,10 @@ func printCSV(s *stpbcast.Series) {
 // runSession times n back-to-back 1 KiB broadcasts on a 4×4 mesh twice:
 // once paying full engine setup per broadcast (the deprecated one-shot
 // path), once over a single warm Session — and prints both rates, the
-// speedup and the session's aggregate stats.
-func runSession(engine string, n int) error {
+// speedup and the session's aggregate stats. flush sets the TCP
+// engine's small-frame batching threshold; pipeline > 0 drives the
+// session loop through RunAsync with that many broadcasts in flight.
+func runSession(engine string, n, flush, pipeline int) error {
 	if n <= 0 {
 		return fmt.Errorf("-repeat must be positive, got %d", n)
 	}
@@ -297,8 +308,15 @@ func runSession(engine string, n int) error {
 	}
 	m := stpbcast.NewParagon(4, 4)
 	cfg := stpbcast.Config{Algorithm: "Br_Lin", Distribution: "E", Sources: 4, MsgBytes: 1024}
-	opts := stpbcast.RunOptions{RecvTimeout: 30 * time.Second}
-	fmt.Printf("session demo: %d × %d B Br_Lin broadcasts, 4×4 mesh, E s=%d\n", n, cfg.MsgBytes, cfg.Sources)
+	opts := stpbcast.RunOptions{RecvTimeout: 30 * time.Second, FlushThreshold: flush}
+	fmt.Printf("session demo: %d × %d B Br_Lin broadcasts, 4×4 mesh, E s=%d", n, cfg.MsgBytes, cfg.Sources)
+	if flush > 0 {
+		fmt.Printf(", flush %d B", flush)
+	}
+	if pipeline > 0 {
+		fmt.Printf(", %d in flight", pipeline)
+	}
+	fmt.Println()
 	for _, eng := range engines {
 		start := time.Now()
 		for i := 0; i < n; i++ {
@@ -313,11 +331,9 @@ func runSession(engine string, n int) error {
 		if err != nil {
 			return fmt.Errorf("%s open: %w", eng, err)
 		}
-		for i := 0; i < n; i++ {
-			if _, err := s.Run(cfg, opts); err != nil {
-				s.Close()
-				return fmt.Errorf("%s session run %d: %w", eng, i, err)
-			}
+		if err := sessionLoop(s, cfg, opts, n, pipeline); err != nil {
+			s.Close()
+			return fmt.Errorf("%s session: %w", eng, err)
 		}
 		stats, err := s.Close()
 		if err != nil {
@@ -329,6 +345,40 @@ func runSession(engine string, n int) error {
 		wRate := float64(n) / warm.Seconds()
 		fmt.Printf("%-5s one-shot %8.1f bcasts/s   session %8.1f bcasts/s   speedup %5.2fx   (runs %d, %d B sent, %d reconnects)\n",
 			eng, osRate, wRate, wRate/osRate, stats.Runs, stats.Bytes, stats.Reconnects)
+	}
+	return nil
+}
+
+// sessionLoop drives n broadcasts through the warm session: plain Run
+// when pipeline is 0, otherwise RunAsync with up to pipeline futures
+// submitted ahead of the oldest unresolved one.
+func sessionLoop(s *stpbcast.Session, cfg stpbcast.Config, opts stpbcast.RunOptions, n, pipeline int) error {
+	if pipeline <= 0 {
+		for i := 0; i < n; i++ {
+			if _, err := s.Run(cfg, opts); err != nil {
+				return fmt.Errorf("run %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	inflight := make([]*stpbcast.Future, 0, pipeline)
+	for i := 0; i < n; i++ {
+		fut, err := s.RunAsync(cfg, opts)
+		if err != nil {
+			return fmt.Errorf("submit %d: %w", i, err)
+		}
+		inflight = append(inflight, fut)
+		if len(inflight) == pipeline {
+			if _, err := inflight[0].Wait(); err != nil {
+				return fmt.Errorf("async run: %w", err)
+			}
+			inflight = append(inflight[:0], inflight[1:]...)
+		}
+	}
+	for _, fut := range inflight {
+		if _, err := fut.Wait(); err != nil {
+			return fmt.Errorf("async run: %w", err)
+		}
 	}
 	return nil
 }

@@ -42,7 +42,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"ablation-varlen",
 		"fig10", "fig11a", "fig11b", "fig12", "fig13a", "fig13b",
 		"fig2", "fig2-growth", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-		"figAuto", "figSession",
+		"figAuto", "figSession", "figTCPHotpath",
 	}
 	got := Experiments()
 	if len(got) != len(want) {
@@ -483,6 +483,36 @@ func TestFigSessionShape(t *testing.T) {
 	if final := last(s, "speedup"); final < 3 {
 		t.Errorf("session speedup at %s runs = %.2f×, want ≥ 3×",
 			s.XLabels[len(s.XLabels)-1], final)
+	}
+}
+
+// TestFigTCPHotpathShape — the hot-path acceptance bar: the vectored
+// arena write path moves small frames at ≥2× the legacy 2k+1-write
+// rate, and every mode reports a positive rate at every payload size.
+// Wall-clock based, but the margin is structural (one syscall and zero
+// allocations per frame vs three writes and fresh headers).
+func TestFigTCPHotpathShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock frame-rate ratios are noisy under -short CI")
+	}
+	s := figures(t)["figTCPHotpath"]
+	if len(s.XLabels) == 0 {
+		t.Fatal("figTCPHotpath produced no points")
+	}
+	for i, x := range s.XLabels {
+		legacy, vectored, batched := s.Get("legacy", i), s.Get("vectored", i), s.Get("batched", i)
+		if legacy <= 0 || vectored <= 0 || batched <= 0 {
+			t.Fatalf("payload %sB: non-positive rate (legacy %.0f, vectored %.0f, batched %.0f)",
+				x, legacy, vectored, batched)
+		}
+		if ratio := s.Get("vectored/legacy", i); ratio != vectored/legacy {
+			t.Errorf("payload %sB: speedup curve %.3f != vectored/legacy %.3f", x, ratio, vectored/legacy)
+		}
+	}
+	// The ≥2× bar applies where per-frame overhead dominates: the
+	// smallest payload point.
+	if ratio := s.Get("vectored/legacy", 0); ratio < 2 {
+		t.Errorf("vectored/legacy = %.2f× at %sB payloads, want ≥ 2×", ratio, s.XLabels[0])
 	}
 }
 

@@ -88,12 +88,16 @@ func NewPool(opts PoolOptions) *Pool {
 	return p
 }
 
-// Lease is exclusive access to one warm session, held from Acquire to
-// Release. While held, no other request runs on the same key.
+// Lease is access to one warm session, held from Acquire to Release.
+// Until Unlock (or Release) it also holds the key's serialization lock,
+// so no other request can touch the same session; after Unlock the
+// lease only pins the session in the pool (it cannot be evicted or
+// closed) while the holder waits on work it already submitted.
 type Lease struct {
-	p     *Pool
-	e     *entry
-	fresh bool
+	p        *Pool
+	e        *entry
+	fresh    bool
+	unlocked bool
 }
 
 // Session returns the leased warm session.
@@ -101,6 +105,21 @@ func (l *Lease) Session() *stpbcast.Session { return l.e.sess }
 
 // Key returns the pool key the lease serves.
 func (l *Lease) Key() Key { return l.e.key }
+
+// Unlock releases the key's serialization lock early, before Release:
+// the next request for the same key may then open its own run against
+// the session — which serializes (or pipelines, via RunAsync) runs
+// internally — while this holder waits for a run it already submitted.
+// The lease itself stays held: the session cannot be evicted or closed
+// until Release. Unlock is idempotent and a no-op on disabled-pool
+// fresh leases, which serialize nothing.
+func (l *Lease) Unlock() {
+	if l.fresh || l.unlocked {
+		return
+	}
+	l.unlocked = true
+	l.e.mu.Unlock()
+}
 
 // Release returns the session to the pool (or closes it, for a
 // disabled-pool fresh session or an entry evicted while this lease held
@@ -110,7 +129,7 @@ func (l *Lease) Release() {
 		l.e.sess.Close()
 		return
 	}
-	l.e.mu.Unlock()
+	l.Unlock()
 	l.p.mu.Lock()
 	l.e.refs--
 	l.e.lastUse = time.Now()

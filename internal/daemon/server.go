@@ -49,6 +49,42 @@ func (o Options) withDefaults() Options {
 // /v1/stats and /metrics quantiles.
 const latencyWindow = 1024
 
+// latencyRing keeps the most recent capacity latencies. Until the ring
+// has wrapped, only slots actually recorded exist — quantiles over a
+// partially filled window must never read zero-valued empty slots, so
+// occupied() exposes exactly the recorded prefix and nothing else.
+type latencyRing struct {
+	capacity int
+	buf      []time.Duration // grows to capacity, then wraps
+	next     int             // overwrite cursor once full
+}
+
+func newLatencyRing(capacity int) *latencyRing {
+	return &latencyRing{capacity: capacity}
+}
+
+// record adds one latency, evicting the oldest once the ring is full.
+func (r *latencyRing) record(d time.Duration) {
+	if len(r.buf) < r.capacity {
+		r.buf = append(r.buf, d)
+		return
+	}
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % r.capacity
+}
+
+// occupied returns how many latencies the ring currently holds (equal
+// to the completions recorded until the window wraps).
+func (r *latencyRing) occupied() int { return len(r.buf) }
+
+// sortedSnapshot copies the occupied slots and sorts them for quantile
+// extraction; the ring itself keeps insertion order.
+func (r *latencyRing) sortedSnapshot() []time.Duration {
+	out := append([]time.Duration(nil), r.buf...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Server implements the control plane over a Pool. Build with New,
 // mount Handler on an http.Server, and Close when done (or drive the
 // drain through Shutdown / POST /v1/shutdown and wait on Done).
@@ -66,9 +102,8 @@ type Server struct {
 	failed    int64
 	rejected  int64
 	tenants   map[string]*tenantState
-	latencies []time.Duration // ring of recent server-side latencies
-	latNext   int
-	events    EventCounts // cumulative, from traced runs
+	latencies *latencyRing // recent server-side latencies
+	events    EventCounts  // cumulative, from traced runs
 
 	wg       sync.WaitGroup // in-flight broadcast requests
 	done     chan struct{}  // closed when a drain has fully completed
@@ -84,10 +119,11 @@ type tenantState struct {
 // New builds a Server and its pool.
 func New(opts Options) *Server {
 	s := &Server{
-		opts:    opts.withDefaults(),
-		start:   time.Now(),
-		tenants: make(map[string]*tenantState),
-		done:    make(chan struct{}),
+		opts:      opts.withDefaults(),
+		start:     time.Now(),
+		tenants:   make(map[string]*tenantState),
+		latencies: newLatencyRing(latencyWindow),
+		done:      make(chan struct{}),
 	}
 	s.pool = NewPool(s.opts.Pool)
 	mux := http.NewServeMux()
@@ -192,12 +228,7 @@ func (s *Server) recordOutcome(ok bool, serverDur time.Duration, ev *EventCounts
 		return
 	}
 	s.completed++
-	if len(s.latencies) < latencyWindow {
-		s.latencies = append(s.latencies, serverDur)
-	} else {
-		s.latencies[s.latNext] = serverDur
-		s.latNext = (s.latNext + 1) % latencyWindow
-	}
+	s.latencies.record(serverDur)
 	if ev != nil {
 		s.events.Sends += ev.Sends
 		s.events.Recvs += ev.Recvs
@@ -260,7 +291,19 @@ func (s *Server) handleBroadcast(w http.ResponseWriter, r *http.Request) {
 		rec = stpbcast.NewTraceRecorder(1 << 16)
 		opts.Trace = rec
 	}
-	res, err := lease.Session().Run(req.config(), opts)
+	// Pipelined dispatch: submit the run, then drop the key's
+	// serialization lock so the next request for the same mesh can
+	// submit while we wait. RunAsync's epoch tagging keeps the
+	// overlapping runs' frames apart; the lease still pins the session
+	// against eviction until Release.
+	fut, err := lease.Session().RunAsync(req.config(), opts)
+	if err != nil {
+		s.recordOutcome(false, time.Since(start), nil)
+		writeError(w, http.StatusInternalServerError, key.String(), "broadcast failed: %v", err)
+		return
+	}
+	lease.Unlock()
+	res, err := fut.Wait()
 	serverDur := time.Since(start)
 	if err != nil {
 		s.recordOutcome(false, serverDur, nil)
@@ -334,9 +377,8 @@ func (s *Server) statsLocked() StatsResponse {
 			st.TenantRequests[name] = ts.requests
 		}
 	}
-	if n := len(s.latencies); n > 0 {
-		sorted := append([]time.Duration(nil), s.latencies...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if s.latencies.occupied() > 0 {
+		sorted := s.latencies.sortedSnapshot()
 		st.P50Ms = quantile(sorted, 0.50)
 		st.P95Ms = quantile(sorted, 0.95)
 		st.P99Ms = quantile(sorted, 0.99)

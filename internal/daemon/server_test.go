@@ -239,6 +239,133 @@ func TestShutdownDrains(t *testing.T) {
 	}
 }
 
+// TestLatencyRingPartialWindow pins the quantile fix: with fewer
+// completed broadcasts than the ring's capacity, quantiles must be
+// computed over only the recorded latencies — never over zero-valued
+// empty slots, which would drag every quantile toward 0.
+func TestLatencyRingPartialWindow(t *testing.T) {
+	r := newLatencyRing(8)
+	for _, d := range []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond} {
+		r.record(d)
+	}
+	if got := r.occupied(); got != 3 {
+		t.Fatalf("occupied() = %d after 3 records, want 3", got)
+	}
+	sorted := r.sortedSnapshot()
+	if len(sorted) != 3 {
+		t.Fatalf("snapshot holds %d latencies, want 3 (empty slots must not leak in)", len(sorted))
+	}
+	if sorted[0] != 10*time.Millisecond || sorted[2] != 30*time.Millisecond {
+		t.Fatalf("snapshot not sorted: %v", sorted)
+	}
+	// All three recorded latencies are ≥10ms, so every quantile must be
+	// too; a zero-padded window would report p50 = 0.
+	if p50 := quantile(sorted, 0.50); p50 < 10 {
+		t.Errorf("p50 over partial window = %.2fms, want >= 10ms", p50)
+	}
+	if p99 := quantile(sorted, 0.99); p99 != 30 {
+		t.Errorf("p99 over partial window = %.2fms, want 30ms (the max)", p99)
+	}
+}
+
+// TestLatencyRingWraps checks eviction order once the window fills:
+// the oldest latency leaves first and occupancy stays at capacity.
+func TestLatencyRingWraps(t *testing.T) {
+	r := newLatencyRing(4)
+	for i := 1; i <= 6; i++ { // 1ms..6ms; 1ms and 2ms must be evicted
+		r.record(time.Duration(i) * time.Millisecond)
+	}
+	if got := r.occupied(); got != 4 {
+		t.Fatalf("occupied() = %d after wrap, want 4", got)
+	}
+	sorted := r.sortedSnapshot()
+	if sorted[0] != 3*time.Millisecond || sorted[3] != 6*time.Millisecond {
+		t.Fatalf("ring kept %v, want the 4 most recent (3ms..6ms)", sorted)
+	}
+}
+
+// TestStatsQuantilesFewerThanWindow drives the fix end to end: a
+// handful of broadcasts (far fewer than latencyWindow) must yield
+// positive, ordered quantiles from /v1/stats.
+func TestStatsQuantilesFewerThanWindow(t *testing.T) {
+	_, base := testServer(t, Options{})
+	const n = 3
+	for i := 0; i < n; i++ {
+		if status, _, e := post(t, base, BroadcastRequest{Engine: "sim", Rows: 2, Cols: 2}); status != http.StatusOK {
+			t.Fatalf("broadcast %d failed with %d: %+v", i, status, e)
+		}
+	}
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != n {
+		t.Fatalf("completed = %d, want %d", st.Completed, n)
+	}
+	if st.P50Ms <= 0 || st.P95Ms <= 0 || st.P99Ms <= 0 {
+		t.Errorf("quantiles over %d broadcasts include a non-positive value: p50=%v p95=%v p99=%v",
+			n, st.P50Ms, st.P95Ms, st.P99Ms)
+	}
+	if st.P50Ms > st.P95Ms || st.P95Ms > st.P99Ms {
+		t.Errorf("quantiles out of order: p50=%v p95=%v p99=%v", st.P50Ms, st.P95Ms, st.P99Ms)
+	}
+}
+
+// TestPipelinedDispatchSameKey hammers one TCP mesh key with
+// concurrent requests. Pipelined dispatch (RunAsync + early lease
+// unlock) lets later requests submit while earlier ones wait; every
+// run must still complete with its own result and the warm session
+// must count them all.
+func TestPipelinedDispatchSameKey(t *testing.T) {
+	_, base := testServer(t, Options{})
+	req := BroadcastRequest{Engine: "tcp", Rows: 2, Cols: 2, Algorithm: "Br_Lin", Distribution: "E", Sources: 2, MsgBytes: 128}
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, out, e := post(t, base, req)
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %+v", status, e)
+				return
+			}
+			if out.ElapsedNs <= 0 {
+				errs <- fmt.Errorf("non-positive elapsed %d", out.ElapsedNs)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	resp, err := http.Get(base + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sessions SessionsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sessions); err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions.Sessions) != 1 {
+		t.Fatalf("%d warm sessions, want 1 (single key)", len(sessions.Sessions))
+	}
+	if got := sessions.Sessions[0].Runs; got != n {
+		t.Errorf("warm session served %d runs, want %d", got, n)
+	}
+	if f := sessions.Sessions[0].Failures; f != 0 {
+		t.Errorf("warm session reports %d failures", f)
+	}
+}
+
 func TestMethodChecks(t *testing.T) {
 	_, base := testServer(t, Options{})
 	resp, err := http.Get(base + "/v1/broadcast")

@@ -1,0 +1,134 @@
+package tcp
+
+// Hot-path measurement harness for the figTCPHotpath experiment: drive
+// one real loopback TCP link with each generation of the frame writer
+// and report the achieved frame rate. The experiment itself lives in
+// internal/bench (which imports this package; the reverse import would
+// cycle), so the raw measurement is exported from here.
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// Frame-writer modes MeasureFrameRate can drive.
+const (
+	// FrameModeLegacy is the pre-arena baseline: heap-allocated headers
+	// and 2k+1 sequential Writes per k-part frame.
+	FrameModeLegacy = "legacy"
+	// FrameModeVectored is the engine's current per-frame path: pooled
+	// scratch, one Write (or writev) per frame.
+	FrameModeVectored = "vectored"
+	// FrameModeBatched is the FlushThreshold path: frames coalesce in a
+	// buffer written out whenever it reaches the threshold.
+	FrameModeBatched = "batched"
+)
+
+// MeasureFrameRate writes `frames` single-part messages of payloadBytes
+// each over one real loopback TCP connection using the given writer mode
+// and returns the achieved rate in frames per second. batchBytes is the
+// flush threshold of FrameModeBatched (ignored by the other modes). The
+// clock stops only when the draining peer has consumed every byte, so
+// the number is end-to-end link throughput, not kernel-buffer fill rate.
+func MeasureFrameRate(mode string, payloadBytes, frames, batchBytes int) (float64, error) {
+	if frames <= 0 || payloadBytes < 0 {
+		return 0, fmt.Errorf("tcp: bad MeasureFrameRate args (frames=%d payload=%d)", frames, payloadBytes)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer ln.Close()
+	type acceptResult struct {
+		conn net.Conn
+		err  error
+	}
+	accepted := make(chan acceptResult, 1)
+	go func() {
+		c, err := ln.Accept()
+		accepted <- acceptResult{c, err}
+	}()
+	wc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return 0, err
+	}
+	defer wc.Close()
+	ar := <-accepted
+	if ar.err != nil {
+		return 0, ar.err
+	}
+	rc := ar.conn
+	defer rc.Close()
+	if tc, ok := wc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+
+	m := comm.Message{Tag: 1, Parts: []comm.Part{{Origin: 0, Data: make([]byte, payloadBytes)}}}
+	total := int64(frames) * int64(frameWireSize(m))
+	drained := make(chan error, 1)
+	go func() {
+		n, err := io.Copy(io.Discard, rc)
+		if err == nil && n != total {
+			err = fmt.Errorf("tcp: drained %d of %d bytes", n, total)
+		}
+		drained <- err
+	}()
+
+	start := time.Now()
+	switch mode {
+	case FrameModeLegacy:
+		for i := 0; i < frames; i++ {
+			if err := writeFrameSeq(wc, 1, m); err != nil {
+				return 0, err
+			}
+		}
+	case FrameModeVectored:
+		sc := getScratch()
+		defer putScratch(sc)
+		for i := 0; i < frames; i++ {
+			if err := writeFrameTo(wc, 1, m, sc); err != nil {
+				return 0, err
+			}
+		}
+	case FrameModeBatched:
+		if batchBytes <= 0 {
+			return 0, fmt.Errorf("tcp: batched mode needs a positive flush threshold")
+		}
+		var pend []byte
+		for i := 0; i < frames; i++ {
+			pend = appendFrame(pend, 1, m)
+			if len(pend) >= batchBytes {
+				if _, err := wc.Write(pend); err != nil {
+					return 0, err
+				}
+				pend = pend[:0]
+			}
+		}
+		if len(pend) > 0 {
+			if _, err := wc.Write(pend); err != nil {
+				return 0, err
+			}
+		}
+	default:
+		return 0, fmt.Errorf("tcp: unknown frame mode %q", mode)
+	}
+	// Half-close the write side so the drain loop's io.Copy terminates,
+	// then charge the remaining in-flight bytes to the measured window.
+	if tc, ok := wc.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	} else {
+		wc.Close()
+	}
+	if err := <-drained; err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return float64(frames) / elapsed.Seconds(), nil
+}

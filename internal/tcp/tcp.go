@@ -88,6 +88,16 @@ const (
 	barrierTag = math.MinInt32
 	// maxPartLen guards against corrupt length prefixes.
 	maxPartLen = 1 << 30
+	// maxParts guards against corrupt part counts: no broadcast bundles
+	// more parts than this (the largest machines are a few hundred
+	// ranks, one part per origin).
+	maxParts = 1 << 20
+	// contiguousLimit is the frame size up to which the writer encodes
+	// the whole frame into one contiguous scratch buffer and issues a
+	// single Write. Larger frames switch to the vectored path — a
+	// net.Buffers gather list referencing payloads in place — so big
+	// payloads are never recopied just to save syscalls.
+	contiguousLimit = 4 << 10
 
 	defaultDialAttempts = 3
 	defaultDialBackoff  = 10 * time.Millisecond
@@ -125,6 +135,24 @@ type Options struct {
 	// Dial overrides the dialer (fault injection in tests); nil means
 	// net.Dial("tcp", addr).
 	Dial func(addr string) (net.Conn, error)
+	// DisableNoDelay leaves Nagle's algorithm enabled on the mesh's
+	// sockets (a setup field, remembered for rebuilds). By default every
+	// dialed and accepted connection sets TCP_NODELAY so small control
+	// frames — 12-byte barrier tokens, sub-MSS broadcast hops — are
+	// never stalled on the Nagle/delayed-ACK interaction; disabling it
+	// exists for batching experiments that want the kernel to coalesce
+	// instead.
+	DisableNoDelay bool
+	// FlushThreshold, when positive, enables per-link small-frame
+	// batching (a run field, consumed per Run call): back-to-back
+	// frames to the same destination are coalesced in a per-link buffer
+	// and written with one syscall when the buffer reaches the
+	// threshold. Every pending buffer is flushed before the sender
+	// blocks (Recv, a barrier wait, or the end of its algorithm
+	// function), so the buffered-Send contract stays deadlock-free: a
+	// processor never waits while holding bytes a peer needs to make
+	// progress.
+	FlushThreshold int
 	// Tracer, when non-nil, receives an obs.Event for every send, recv,
 	// wait (a receive that had to block) and barrier, stamped with
 	// wall-clock nanoseconds since the run started. The reader pumps
@@ -147,15 +175,158 @@ type abortError struct {
 func (e *abortError) Error() string { return e.cause.Error() }
 func (e *abortError) Unwrap() error { return e.cause }
 
+// frameWireSize returns the encoded size of m on the wire.
+func frameWireSize(m comm.Message) int {
+	n := frameHdrLen + len(m.Parts)*partHdrLen
+	for _, part := range m.Parts {
+		n += len(part.Data)
+	}
+	return n
+}
+
+// appendFrame appends the wire encoding of m — the epoch-stamped frame
+// header followed by each part's header and payload — to buf. It is the
+// single encoder behind both the contiguous write path and the per-link
+// batcher, and allocates only when buf must grow.
+func appendFrame(buf []byte, epoch uint32, m comm.Message) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, epoch)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(m.Tag)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(len(m.Parts))))
+	for _, part := range m.Parts {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(int32(part.Origin)))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(int32(len(part.Data))))
+		buf = append(buf, part.Data...)
+	}
+	return buf
+}
+
+// writeFrameTo writes one frame with at most one Write (or one vectored
+// WriteTo) call, using sc's pooled storage. Small frames — the common
+// case: barrier tokens, control traffic, early broadcast hops — are
+// encoded contiguously into sc.flat and written once. Frames above
+// contiguousLimit build a gather list in sc.bufs whose header segments
+// live in sc.hdr and whose payload segments reference the message's
+// buffers in place, then hand the whole list to net.Buffers.WriteTo —
+// writev on a *net.TCPConn — so multi-part bundles cost one syscall and
+// zero payload copies instead of the historical 2k+1 writes.
+func writeFrameTo(w io.Writer, epoch uint32, m comm.Message, sc *frameScratch) error {
+	size := frameWireSize(m)
+	if size <= contiguousLimit {
+		sc.flat = appendFrame(sc.flat[:0], epoch, m)
+		_, err := w.Write(sc.flat)
+		return err
+	}
+	// Pre-size the header storage: appends below must never reallocate,
+	// or the gather list's earlier segments would point at a dead array.
+	need := frameHdrLen + len(m.Parts)*partHdrLen
+	if cap(sc.hdr) < need {
+		sc.hdr = make([]byte, 0, need)
+	}
+	hdr := sc.hdr[:0]
+	bufs := sc.bufs[:0]
+	hdr = binary.BigEndian.AppendUint32(hdr, epoch)
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(int32(m.Tag)))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(int32(len(m.Parts))))
+	bufs = append(bufs, hdr[:frameHdrLen])
+	for _, part := range m.Parts {
+		start := len(hdr)
+		hdr = binary.BigEndian.AppendUint32(hdr, uint32(int32(part.Origin)))
+		hdr = binary.BigEndian.AppendUint32(hdr, uint32(int32(len(part.Data))))
+		bufs = append(bufs, hdr[start:len(hdr)])
+		if len(part.Data) > 0 {
+			bufs = append(bufs, part.Data)
+		}
+	}
+	sc.hdr, sc.bufs = hdr, bufs
+	// WriteTo consumes (and on partial writes mutates) the list it is
+	// given; hand it the scratch's consumable view so sc.bufs keeps its
+	// backing array (for putScratch's reference clearing) and no slice
+	// header escapes per write.
+	sc.vec = bufs
+	_, err := sc.vec.WriteTo(w)
+	return err
+}
+
+// writeFrame writes one frame through a pooled scratch. It is the
+// plain-io.Writer form of writeFrameTo for callers without a scratch of
+// their own (tests, fuzzing); the engine hot path uses writeFrameTo.
 func writeFrame(w io.Writer, epoch uint32, m comm.Message) error {
-	hdr := make([]byte, 12)
+	sc := getScratch()
+	err := writeFrameTo(w, epoch, m, sc)
+	putScratch(sc)
+	return err
+}
+
+// frameReader decodes the frames one peer sends to one local rank. The
+// reader pumps keep one per connection end, so the header scratch is
+// allocated once per link, not once per frame. Payload buffers and the
+// part slice of each decoded message come from the arena; ownership
+// transfers to the caller (see arena.go for the recycle discipline).
+// Corrupt frames are attributed to both ends of the link, honouring the
+// contract that engine errors name the affected rank and its peer.
+// Parts storage grows as bytes actually arrive, so a corrupt header
+// claiming maxParts parts cannot force a huge allocation up front.
+type frameReader struct {
+	r        io.Reader
+	src, dst int // sending peer's rank, receiving (local) rank
+	hdr      [frameHdrLen]byte
+	ph       [partHdrLen]byte
+}
+
+func (fr *frameReader) read() (comm.Message, uint32, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		return comm.Message{}, 0, err
+	}
+	epoch := binary.BigEndian.Uint32(fr.hdr[0:])
+	tag := int(int32(binary.BigEndian.Uint32(fr.hdr[4:])))
+	nparts := int(int32(binary.BigEndian.Uint32(fr.hdr[8:])))
+	if nparts < 0 || nparts > maxParts {
+		return comm.Message{}, 0, fmt.Errorf("tcp: corrupt frame from rank %d at rank %d: %d parts", fr.src, fr.dst, nparts)
+	}
+	m := comm.Message{Tag: tag, Parts: getParts(nparts)}
+	for i := 0; i < nparts; i++ {
+		if _, err := io.ReadFull(fr.r, fr.ph[:]); err != nil {
+			recycleMessage(m)
+			return comm.Message{}, 0, err
+		}
+		origin := int(int32(binary.BigEndian.Uint32(fr.ph[0:])))
+		n := int(int32(binary.BigEndian.Uint32(fr.ph[4:])))
+		if n < 0 || n > maxPartLen {
+			recycleMessage(m)
+			return comm.Message{}, 0, fmt.Errorf("tcp: corrupt frame from rank %d at rank %d: part %d of %d bytes", fr.src, fr.dst, i, n)
+		}
+		data := getPayload(n)
+		if _, err := io.ReadFull(fr.r, data); err != nil {
+			putPayload(data)
+			recycleMessage(m)
+			return comm.Message{}, 0, err
+		}
+		m.Parts = append(m.Parts, comm.Part{Origin: origin, Data: data})
+	}
+	return m, epoch, nil
+}
+
+// readFrame decodes one frame sent by rank src to rank dst: the
+// one-shot form of frameReader for callers without a per-link reader of
+// their own (tests, fuzzing).
+func readFrame(r io.Reader, src, dst int) (comm.Message, uint32, error) {
+	fr := frameReader{r: r, src: src, dst: dst}
+	return fr.read()
+}
+
+// writeFrameSeq is the pre-arena frame writer — one heap-allocated
+// header plus 2k+1 sequential Writes per k-part frame. It is kept only
+// as the measured baseline of the figTCPHotpath experiment; the engine
+// never calls it.
+func writeFrameSeq(w io.Writer, epoch uint32, m comm.Message) error {
+	hdr := make([]byte, frameHdrLen)
 	binary.BigEndian.PutUint32(hdr[0:], epoch)
 	binary.BigEndian.PutUint32(hdr[4:], uint32(int32(m.Tag)))
 	binary.BigEndian.PutUint32(hdr[8:], uint32(int32(len(m.Parts))))
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
-	ph := make([]byte, 8)
+	ph := make([]byte, partHdrLen)
 	for _, part := range m.Parts {
 		binary.BigEndian.PutUint32(ph[0:], uint32(int32(part.Origin)))
 		binary.BigEndian.PutUint32(ph[4:], uint32(int32(len(part.Data))))
@@ -167,37 +338,6 @@ func writeFrame(w io.Writer, epoch uint32, m comm.Message) error {
 		}
 	}
 	return nil
-}
-
-func readFrame(r io.Reader) (comm.Message, uint32, error) {
-	hdr := make([]byte, 12)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return comm.Message{}, 0, err
-	}
-	epoch := binary.BigEndian.Uint32(hdr[0:])
-	tag := int(int32(binary.BigEndian.Uint32(hdr[4:])))
-	nparts := int(int32(binary.BigEndian.Uint32(hdr[8:])))
-	if nparts < 0 || nparts > 1<<20 {
-		return comm.Message{}, 0, fmt.Errorf("tcp: corrupt frame: %d parts", nparts)
-	}
-	m := comm.Message{Tag: tag, Parts: make([]comm.Part, nparts)}
-	ph := make([]byte, 8)
-	for i := 0; i < nparts; i++ {
-		if _, err := io.ReadFull(r, ph); err != nil {
-			return comm.Message{}, 0, err
-		}
-		origin := int(int32(binary.BigEndian.Uint32(ph[0:])))
-		n := int(int32(binary.BigEndian.Uint32(ph[4:])))
-		if n < 0 || n > maxPartLen {
-			return comm.Message{}, 0, fmt.Errorf("tcp: corrupt frame: part of %d bytes", n)
-		}
-		data := make([]byte, n)
-		if _, err := io.ReadFull(r, data); err != nil {
-			return comm.Message{}, 0, err
-		}
-		m.Parts[i] = comm.Part{Origin: origin, Data: data}
-	}
-	return m, epoch, nil
 }
 
 // runState is the per-run half of the machine: epoch, tracer and clock
@@ -232,7 +372,11 @@ func (rs *runState) wallIfTraced() int64 {
 // check makes cross-run frame bleed impossible even when a pump is
 // descheduled between decoding a frame and delivering it.
 type inbox struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	// rank is the owning processor's rank: boxes[rank] holds self-sends,
+	// whose payloads are caller-owned and must never be recycled into
+	// the arena (every other box holds pump-decoded arena buffers).
+	rank     int
 	cond     *sync.Cond
 	boxes    []comm.Queue
 	barriers []int
@@ -264,13 +408,18 @@ func (q *tsQueue) pop() int64 {
 	return t
 }
 
-// reset wipes the previous run's leftovers: queued frames (slots zeroed
-// so payloads are collectable), barrier tokens, the poison error, and
+// reset wipes the previous run's leftovers: queued frames (pump-decoded
+// ones recycled into the arena, self-sends merely dropped — their
+// payloads are caller-owned), barrier tokens, the poison error, and
 // the arrival stamps (reallocated only when the new run is traced).
 func (ib *inbox) reset(traced bool) {
 	ib.mu.Lock()
 	for i := range ib.boxes {
-		ib.boxes[i].Reset()
+		if i == ib.rank {
+			ib.boxes[i].Reset()
+		} else {
+			ib.boxes[i].Drain(recycleMessage)
+		}
 	}
 	for i := range ib.barriers {
 		ib.barriers[i] = 0
@@ -286,12 +435,17 @@ func (ib *inbox) reset(traced bool) {
 
 // push enqueues a data frame from src for run rs; ts is the arrival wall
 // stamp, recorded only on traced runs. The frame is dropped if rs is no
-// longer the current run.
-func (ib *inbox) push(st *state, rs *runState, src int, m comm.Message, ts int64) {
+// longer the current run; pooled marks arena-backed frames (pump
+// deliveries) whose storage is then recycled on that drop path.
+func (ib *inbox) push(st *state, rs *runState, src int, m comm.Message, ts int64, pooled bool) {
 	ib.mu.Lock()
 	if st.run.Load() != rs {
 		ib.mu.Unlock()
-		return // the run ended while the frame was in flight
+		// The run ended while the frame was in flight.
+		if pooled {
+			recycleMessage(m)
+		}
+		return
 	}
 	ib.boxes[src].Push(m)
 	if ib.arrivals != nil {
@@ -443,6 +597,15 @@ type Proc struct {
 	iter        int
 	phase       string
 
+	// Small-frame batching (Options.FlushThreshold > 0): pend[dst]
+	// accumulates encoded frames bound for dst; dirty lists destinations
+	// with pending bytes (possibly with duplicates — flushPending skips
+	// the already-empty ones). Touched only by the owning rank goroutine;
+	// the eventual socket write still takes wmu[dst].
+	flushLimit int
+	pend       [][]byte
+	dirty      []int
+
 	sends, recvs               int
 	sendBytes, recvBytes       int64
 	barrierSends, barrierRecvs int
@@ -453,11 +616,19 @@ var _ comm.IterMarker = (*Proc)(nil)
 var _ comm.PhaseMarker = (*Proc)(nil)
 
 // beginRun resets the per-run half of the processor: a wiped inbox,
-// fresh counters, and the new run's state/deadline.
-func (p *Proc) beginRun(rs *runState, recvTimeout time.Duration) {
+// fresh counters, and the new run's state/deadline/batching threshold.
+func (p *Proc) beginRun(rs *runState, recvTimeout time.Duration, flushLimit int) {
 	p.in.reset(rs.tr != nil)
 	p.rs = rs
 	p.recvTimeout = recvTimeout
+	p.flushLimit = flushLimit
+	if flushLimit > 0 && p.pend == nil {
+		p.pend = make([][]byte, p.size)
+	}
+	for i := range p.pend {
+		p.pend[i] = p.pend[i][:0] // drop leftovers of an aborted run
+	}
+	p.dirty = p.dirty[:0]
 	p.iter, p.phase = -1, ""
 	p.sends, p.recvs = 0, 0
 	p.sendBytes, p.recvBytes = 0, 0
@@ -476,20 +647,75 @@ func (p *Proc) Rank() int { return p.rank }
 // Size implements comm.Comm.
 func (p *Proc) Size() int { return p.size }
 
-// writeTo frames m onto the pair's socket stamped with the run's epoch,
-// classifying failures: a write error after the run aborted is a
-// secondary unwind, not a root cause.
+// writeTo frames m onto the pair's socket stamped with the run's epoch —
+// one Write (or vectored WriteTo) per frame through pooled scratch — or,
+// when batching is on, into the link's pending buffer. Failures are
+// classified: a write error after the run aborted is a secondary unwind,
+// not a root cause.
 func (p *Proc) writeTo(dst int, m comm.Message) {
-	p.wmu[dst].Lock()
-	err := writeFrame(p.conns[dst], p.rs.epoch, m)
-	p.wmu[dst].Unlock()
-	if err != nil {
-		serr := fmt.Errorf("send to %d: %w", dst, err)
-		if p.rs.aborted.Load() {
-			panic(&abortError{cause: serr})
-		}
-		panic(serr)
+	if p.flushLimit > 0 {
+		p.bufferFrame(dst, m)
+		return
 	}
+	sc := getScratch()
+	p.wmu[dst].Lock()
+	err := writeFrameTo(p.conns[dst], p.rs.epoch, m, sc)
+	p.wmu[dst].Unlock()
+	putScratch(sc)
+	if err != nil {
+		p.sendFail(dst, err)
+	}
+}
+
+// sendFail panics out of a failed socket write with the abort
+// classification writeTo documents.
+func (p *Proc) sendFail(dst int, err error) {
+	serr := fmt.Errorf("send to %d: %w", dst, err)
+	if p.rs.aborted.Load() {
+		panic(&abortError{cause: serr})
+	}
+	panic(serr)
+}
+
+// bufferFrame appends m's encoding to dst's pending buffer, flushing it
+// once it reaches the run's threshold.
+func (p *Proc) bufferFrame(dst int, m comm.Message) {
+	if len(p.pend[dst]) == 0 {
+		p.dirty = append(p.dirty, dst)
+	}
+	p.pend[dst] = appendFrame(p.pend[dst], p.rs.epoch, m)
+	if len(p.pend[dst]) >= p.flushLimit {
+		p.flushDst(dst)
+	}
+}
+
+// flushDst writes dst's pending buffer with one syscall.
+func (p *Proc) flushDst(dst int) {
+	buf := p.pend[dst]
+	if len(buf) == 0 {
+		return
+	}
+	p.wmu[dst].Lock()
+	_, err := p.conns[dst].Write(buf)
+	p.wmu[dst].Unlock()
+	p.pend[dst] = buf[:0]
+	if err != nil {
+		p.sendFail(dst, err)
+	}
+}
+
+// flushPending writes out every link's pending buffer. It is called
+// before every blocking operation (Recv, barrier waits) and when the
+// rank's algorithm function returns, so batching can never withhold a
+// frame from a peer while this rank waits.
+func (p *Proc) flushPending() {
+	if len(p.dirty) == 0 {
+		return
+	}
+	for _, dst := range p.dirty {
+		p.flushDst(dst)
+	}
+	p.dirty = p.dirty[:0]
 }
 
 // Send implements comm.Comm: frame the message onto the pair's socket.
@@ -508,7 +734,7 @@ func (p *Proc) Send(dst int, m comm.Message) {
 		t0 = time.Now()
 	}
 	if dst == p.rank {
-		p.in.push(p.st, p.rs, p.rank, m, p.rs.wallIfTraced())
+		p.in.push(p.st, p.rs, p.rank, m, p.rs.wallIfTraced(), false)
 	} else {
 		p.writeTo(dst, m)
 	}
@@ -528,6 +754,7 @@ func (p *Proc) Recv(src int) comm.Message {
 	if src < 0 || src >= p.size {
 		panic(fmt.Sprintf("tcp: rank %d receives from invalid rank %d", p.rank, src))
 	}
+	p.flushPending() // a blocked Recv must never hold undelivered frames
 	var t0 time.Time
 	if p.rs.tr != nil {
 		t0 = time.Now()
@@ -572,6 +799,7 @@ func (p *Proc) Barrier() {
 		src := (p.rank - k + p.size) % p.size
 		p.barrierSends++
 		p.writeTo(dst, comm.Message{Tag: barrierTag})
+		p.flushPending() // our token must be on the wire before we wait
 		if err := p.in.popBarrier(src, p.recvTimeout); err != nil {
 			panic(fmt.Errorf("barrier recv from %d: %w", src, err))
 		}
@@ -621,9 +849,10 @@ type Machine struct {
 	st        *state
 	pumps     sync.WaitGroup
 
-	dial         func(addr string) (net.Conn, error)
-	dialAttempts int
-	dialBackoff  time.Duration
+	dial           func(addr string) (net.Conn, error)
+	dialAttempts   int
+	dialBackoff    time.Duration
+	disableNoDelay bool
 
 	epoch      uint32
 	reconnects atomic.Int64
@@ -656,6 +885,7 @@ func NewMachine(p int, opts Options) (*Machine, error) {
 		size: p, st: &state{},
 		listeners: make([]net.Listener, p), procs: make([]*Proc, p),
 		dial: dial, dialAttempts: attempts, dialBackoff: backoff,
+		disableNoDelay: opts.DisableNoDelay,
 	}
 	m.st.procs = m.procs
 	for i := 0; i < p; i++ {
@@ -667,7 +897,7 @@ func NewMachine(p int, opts Options) (*Machine, error) {
 			return nil, fmt.Errorf("tcp: listen for rank %d: %w", i, err)
 		}
 		m.listeners[i] = ln
-		in := &inbox{boxes: make([]comm.Queue, p), barriers: make([]int, p)}
+		in := &inbox{rank: i, boxes: make([]comm.Queue, p), barriers: make([]int, p)}
 		in.cond = sync.NewCond(&in.mu)
 		m.procs[i] = &Proc{
 			rank: i, size: p, wmu: make([]sync.Mutex, p),
@@ -745,7 +975,7 @@ func (m *Machine) Run(opts Options, fn func(*Proc)) (*Result, error) {
 	rs := &runState{epoch: m.epoch, tr: opts.Tracer}
 	p := m.size
 	for _, pr := range m.procs {
-		pr.beginRun(rs, opts.RecvTimeout)
+		pr.beginRun(rs, opts.RecvTimeout, opts.FlushThreshold)
 	}
 	rs.start = time.Now()
 	// Inboxes are wiped and stamped for the new run; only now do the
@@ -812,6 +1042,11 @@ func (m *Machine) Run(opts Options, fn func(*Proc)) (*Result, error) {
 				}
 			}()
 			fn(pr)
+			// Frames batched behind the algorithm's last sends still
+			// belong to peers; push them out before the rank retires
+			// (inside the recover scope — a flush failure aborts the
+			// run like any other send failure).
+			pr.flushPending()
 		}()
 	}
 	wg.Wait()
@@ -918,6 +1153,7 @@ func (m *Machine) connect(ctx context.Context) error {
 					fail(fmt.Errorf("tcp: rank %d handshake from invalid peer %d", j, peer))
 					return
 				}
+				m.applyNoDelay(conn)
 				m.procs[j].conns[peer] = conn
 			}
 		}(j, expect)
@@ -948,6 +1184,7 @@ func (m *Machine) connect(ctx context.Context) error {
 						return
 					}
 				}
+				m.applyNoDelay(conn)
 				var hs [4]byte
 				binary.BigEndian.PutUint32(hs[:], uint32(int32(i)))
 				if _, err := conn.Write(hs[:]); err != nil {
@@ -1001,6 +1238,17 @@ func (m *Machine) connect(ctx context.Context) error {
 	return nil
 }
 
+// applyNoDelay sets the machine's TCP_NODELAY policy on one mesh socket
+// (default on; Options.DisableNoDelay leaves Nagle coalescing in place).
+// Non-TCP conns — fault-injection wrappers in tests — are left alone,
+// and errors are ignored: the policy is a latency tune, not a
+// correctness requirement.
+func (m *Machine) applyNoDelay(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(!m.disableNoDelay)
+	}
+}
+
 // pump reads frames off one connection end for the machine's lifetime
 // (or until the mesh breaks). A read error during a run is a mid-run
 // connection failure (root cause, the run aborts); during Close or after
@@ -1009,8 +1257,9 @@ func (m *Machine) connect(ctx context.Context) error {
 func (m *Machine) pump(pr *Proc, peer int, conn net.Conn) {
 	defer m.pumps.Done()
 	st := m.st
+	rd := &frameReader{r: conn, src: peer, dst: pr.rank}
 	for {
-		fr, epoch, err := readFrame(conn)
+		fr, epoch, err := rd.read()
 		if err != nil {
 			if st.closed.Load() || st.broken.Load() {
 				return // session teardown or already-torn mesh
@@ -1028,12 +1277,16 @@ func (m *Machine) pump(pr *Proc, peer int, conn net.Conn) {
 		}
 		rs := st.run.Load()
 		if rs == nil || epoch != rs.epoch {
-			continue // frame from an earlier run (late or replayed): drop
+			// Frame from an earlier run (late or replayed): drop, and
+			// recycle its arena buffers — it was never delivered.
+			recycleMessage(fr)
+			continue
 		}
 		if fr.Tag == barrierTag {
+			recycleMessage(fr) // barrier frames carry no parts normally
 			pr.in.pushBarrier(st, rs, peer)
 		} else {
-			pr.in.push(st, rs, peer, fr, rs.wallIfTraced())
+			pr.in.push(st, rs, peer, fr, rs.wallIfTraced(), true)
 		}
 	}
 }

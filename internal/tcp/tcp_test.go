@@ -30,7 +30,7 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err := writeFrame(&buf, 9, m); err != nil {
 		t.Fatal(err)
 	}
-	got, epoch, err := readFrame(&buf)
+	got, epoch, err := readFrame(&buf, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,8 +50,15 @@ func TestFrameRoundTrip(t *testing.T) {
 func TestFrameRejectsCorruptHeader(t *testing.T) {
 	// A negative part count must not allocate.
 	buf := []byte{0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}
-	if _, _, err := readFrame(bytes.NewReader(buf)); err == nil {
-		t.Fatal("corrupt frame accepted")
+	got, _, err := readFrame(bytes.NewReader(buf), 3, 5)
+	if err == nil {
+		t.Fatalf("corrupt frame accepted: %+v", got)
+	}
+	// PR 2 contract: engine errors name the affected rank and its peer.
+	for _, want := range []string{"from rank 3", "at rank 5"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("corrupt-frame error %q does not contain %q", err, want)
+		}
 	}
 }
 

@@ -99,6 +99,106 @@ func TestSessionIsolationRealEngines(t *testing.T) {
 	}
 }
 
+// TestRunAsyncOverlapTCP is the pipelining acceptance test: two
+// broadcasts submitted back to back on one warm TCP mesh, the second
+// entering the queue while the first is still in flight. Each run
+// carries a distinguishing payload fill; every delivered bundle must
+// hold exactly its own run's bytes — epoch tagging on the wire keeps
+// overlapping runs' frames apart.
+func TestRunAsyncOverlapTCP(t *testing.T) {
+	m := stpbcast.NewParagon(2, 2)
+	s, err := stpbcast.Open(m, stpbcast.EngineTCP, stpbcast.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	payload := func(fill byte) func(rank int) []byte {
+		return func(rank int) []byte {
+			buf := make([]byte, 64)
+			for i := range buf {
+				buf[i] = fill
+			}
+			return buf
+		}
+	}
+	// Submit both before waiting on either: the second run is queued on
+	// the session while the first executes.
+	futA, err := s.RunAsync(sessionCfg, stpbcast.RunOptions{
+		Payload: payload(0xAA), RecvTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	futB, err := s.RunAsync(sessionCfg, stpbcast.RunOptions{
+		Payload: payload(0xBB), RecvTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, fut *stpbcast.Future, fill byte) {
+		res, err := fut.Wait()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkBundles(t, res, m.P(), sessionCfg.Sources)
+		for rank, got := range res.Bundles {
+			for origin, data := range got {
+				for _, b := range data {
+					if b != fill {
+						t.Fatalf("%s: rank %d received byte %#x from origin %d, want %#x — frames bled across runs",
+							name, rank, b, origin, fill)
+					}
+				}
+			}
+		}
+	}
+	check("runA", futA, 0xAA)
+	check("runB", futB, 0xBB)
+
+	// Wait is repeatable and Done is closed after completion.
+	select {
+	case <-futA.Done():
+	default:
+		t.Fatal("Done() not closed after Wait returned")
+	}
+	if _, err := futA.Wait(); err != nil {
+		t.Fatalf("second Wait: %v", err)
+	}
+
+	if stats := s.Stats(); stats.Runs != 2 || stats.Failures != 0 {
+		t.Fatalf("stats = %+v, want 2 runs, 0 failures", stats)
+	}
+}
+
+// TestRunAsyncCloseDrains: Close must refuse new submissions but let an
+// already-admitted async run finish on the live engine.
+func TestRunAsyncCloseDrains(t *testing.T) {
+	m := stpbcast.NewParagon(2, 2)
+	s, err := stpbcast.Open(m, stpbcast.EngineTCP, stpbcast.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut, err := s.RunAsync(sessionCfg, stpbcast.RunOptions{RecvTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	res, err := fut.Wait()
+	if err != nil {
+		t.Fatalf("admitted run failed after Close: %v", err)
+	}
+	checkBundles(t, res, m.P(), sessionCfg.Sources)
+	if _, err := s.RunAsync(sessionCfg, stpbcast.RunOptions{}); err == nil {
+		t.Fatal("RunAsync accepted after Close")
+	} else if !strings.Contains(err.Error(), "closed session") {
+		t.Fatalf("post-Close error %q does not mention the closed session", err)
+	}
+}
+
 // TestSessionIsolationSim: the simulator has no warm engine state, so a
 // session must return results identical across back-to-back runs and
 // identical to the one-shot path, with per-run tracers kept apart.

@@ -470,6 +470,13 @@ type RunOptions struct {
 	// means the defaults. Sessions configure these at Open instead.
 	DialAttempts int
 	DialBackoff  time.Duration
+	// FlushThreshold, when positive, enables the TCP engine's per-link
+	// small-frame batching for this run: back-to-back frames to the
+	// same destination coalesce into one write once the pending buffer
+	// reaches the threshold, and are always flushed before the sender
+	// blocks, so the buffered-Send contract is preserved. Useful for
+	// barrier- and ack-heavy traffic; ignored by the other engines.
+	FlushThreshold int
 }
 
 // RunLive executes the broadcast on the live goroutine engine with real
