@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test race chaos fuzz-seeds bench bench-baseline bench-tcp bench-tcp-baseline bench-all trace-smoke daemon-smoke api api-check ci
+.PHONY: all fmt vet build test race chaos fuzz-seeds bench bench-baseline bench-tcp bench-tcp-baseline bench-all smoke-p64 trace-smoke daemon-smoke api api-check ci
 
 all: ci
 
@@ -48,18 +48,26 @@ bench-baseline:
 	$(GO) test -bench 'Fig' -benchmem -count 3 -run '^$$' -timeout 30m . \
 		| $(GO) run ./cmd/stpperf -out BENCH_baseline.json
 
-# TCP frame hot-path benchmarks (write/read/steady-state Send-Recv),
-# best-of-3, parsed into BENCH_tcp.json and gated at 2x ns/op against
-# the committed baseline. Fast enough for the ci target. Refresh the
-# baseline with `make bench-tcp-baseline` after an intentional change.
+# TCP engine benchmarks (frame write/read hot path, steady-state
+# Send-Recv, sparse vs full mesh setup, k-ported fan-out), best-of-3,
+# parsed into BENCH_tcp.json and gated at 2x ns/op against the committed
+# baseline. Fast enough for the ci target. Refresh the baseline with
+# `make bench-tcp-baseline` after an intentional change.
 bench-tcp:
-	$(GO) test -bench 'Frame|SteadyState' -benchmem -count 3 -run '^$$' -timeout 10m ./internal/tcp/ \
+	$(GO) test -bench 'Frame|SteadyState|Setup|KPort' -benchmem -count 3 -run '^$$' -timeout 10m ./internal/tcp/ \
 		| $(GO) run ./cmd/stpperf -out BENCH_tcp.json
 	$(GO) run ./cmd/stpperf -check -baseline BENCH_tcp_baseline.json -current BENCH_tcp.json -max-ratio 2
 
 bench-tcp-baseline:
-	$(GO) test -bench 'Frame|SteadyState' -benchmem -count 3 -run '^$$' -timeout 10m ./internal/tcp/ \
+	$(GO) test -bench 'Frame|SteadyState|Setup|KPort' -benchmem -count 3 -run '^$$' -timeout 10m ./internal/tcp/ \
 		| $(GO) run ./cmd/stpperf -out BENCH_tcp_baseline.json
+
+# Sparse-mesh scale smoke: one real-byte broadcast over a route-planned
+# p=64 mesh — the quick proof that the sparse TCP path works at a scale
+# the full mesh makes painful. (TestSparseBroadcastP128 runs the p=128
+# variant in the regular test sweep.)
+smoke-p64:
+	$(GO) test -run 'TestSparseBroadcastP64Smoke' -count 1 -timeout 5m ./internal/tcp/
 
 # Microbenchmarks across all packages (no JSON, no gate).
 bench-all:
@@ -98,4 +106,4 @@ api:
 api-check:
 	$(GO) run ./cmd/stpapi -dir . -check api/stpbcast.txt
 
-ci: fmt vet build race fuzz-seeds trace-smoke daemon-smoke api-check bench-tcp
+ci: fmt vet build race fuzz-seeds smoke-p64 trace-smoke daemon-smoke api-check bench-tcp

@@ -33,6 +33,9 @@ func buildRegistry() {
 		RingAllGather(),
 		RDAllGather(),
 		Indep1toP(),
+		// Beyond the paper: the k-ported broadcast for multi-channel
+		// nodes (tcp Options.Ports), k=4 by default.
+		BrKPort(4),
 	}
 	registryIdx = make(map[string]Algorithm, len(registryAlgs))
 	for _, a := range registryAlgs {

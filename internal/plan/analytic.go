@@ -3,6 +3,8 @@ package plan
 import (
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/machine"
@@ -161,7 +163,23 @@ func (md *model) estimate(name string) float64 {
 	case "Indep_1toP":
 		return md.estIndep()
 	}
+	if k, ok := kportPorts(name); ok {
+		return md.estKPort(k)
+	}
 	return md.estTwoStep()
+}
+
+// kportPorts parses the port count out of a "Br_kport<k>" registry name.
+func kportPorts(name string) (int, bool) {
+	const prefix = "Br_kport"
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	k, err := strconv.Atoi(name[len(prefix):])
+	if err != nil || k < 1 {
+		return 0, false
+	}
+	return k, true
 }
 
 // --- line-replay machinery -------------------------------------------------
@@ -561,6 +579,129 @@ func (md *model) estRD() float64 {
 	bytes := s * l
 	byteCost := 2*md.copy(bytes) + float64(bytes)/md.cfg.LinkBandwidth*1e9 + md.comb(bytes)
 	return md.logp()*perRound + byteCost
+}
+
+// estKPort replays Br_kport<k>'s (k+1)-section pattern (core.runLineK)
+// over the snake-ordered line with per-rank clocks and true hop
+// distances, exactly as estBrLin replays core.runLine: per level every
+// segment's strided groups exchange bundles all-to-all and the segment
+// splits into k+1 subsegments, so ~⌈log_{k+1} p⌉ levels at the price of
+// up to k serialized sends per holder per level.
+func (md *model) estKPort(k int) float64 {
+	p := md.spec.P()
+	ranks := make([]int, p)
+	for pos := 0; pos < p; pos++ {
+		ranks[pos] = md.spec.Indexing.RankToNode(md.mesh, pos)
+	}
+	clocks := make([]float64, p)
+	ls := newLine(ranks, md.spec.IsSource, func(int) int64 { return int64(md.l) })
+	md.replayLineK(ls, k, clocks)
+	return maxClock(clocks)
+}
+
+// replayLineK replays the (k+1)-section pattern of core.runLineK over
+// one line, advancing the shared per-rank clocks. Segment splitting,
+// group membership, and the straggler rule mirror the algorithm
+// exactly; only the per-operation pricing is added.
+func (md *model) replayLineK(ls *lineState, k int, clocks []float64) {
+	type seg struct{ lo, n int }
+	segs := []seg{{0, len(ls.ranks)}}
+	var members []int
+	for {
+		split := false
+		for _, g := range segs {
+			if g.n > 1 {
+				split = true
+			}
+		}
+		if !split {
+			return
+		}
+		var next []seg
+		for _, g := range segs {
+			if g.n <= 1 {
+				continue
+			}
+			h := (g.n + k) / (k + 1)
+			for i := 0; i < h; i++ {
+				members = members[:0]
+				for pos := g.lo + i; pos < g.lo+g.n; pos += h {
+					members = append(members, pos)
+				}
+				md.groupExchange(ls, members, clocks)
+			}
+			jlast := (g.n - 1) / h
+			for i := g.n - jlast*h; i < h; i++ {
+				u, tgt := g.lo+i, g.lo+g.n-1
+				if ls.holds[u] && u != tgt {
+					md.oneway(ls, u, tgt, clocks)
+				}
+			}
+			for j := 0; j*h < g.n; j++ {
+				next = append(next, seg{g.lo + j*h, min(h, g.n-j*h)})
+			}
+		}
+		segs = next
+	}
+}
+
+// groupExchange prices one group all-to-all bundle exchange among the
+// given line positions (core.groupStep): every holding member sends its
+// bundle to every other member in member order, then receives and
+// merges from every other holder — sends complete before the first
+// receive, matching the algorithm's buffered-Send ordering. Reduces to
+// exchange at two mutual holders.
+func (md *model) groupExchange(ls *lineState, members []int, clocks []float64) {
+	if len(members) < 2 {
+		return
+	}
+	var holders []int
+	for _, u := range members {
+		if ls.holds[u] {
+			holders = append(holders, u)
+		}
+	}
+	if len(holders) == 0 {
+		return
+	}
+	// Arrival time at v of holder u's bundle: u's i-th send departs
+	// after i+1 serialized send overheads and copies, then the wire.
+	type pair struct{ u, v int }
+	arr := make(map[pair]float64, len(holders)*(len(members)-1))
+	for _, u := range holders {
+		ru, su := ls.ranks[u], ls.sizes[u]
+		t := clocks[ru]
+		for _, v := range members {
+			if v == u {
+				continue
+			}
+			t += md.so() + md.copy(su)
+			arr[pair{u, v}] = t + md.wire(su, float64(md.hop(ru, ls.ranks[v])))
+		}
+	}
+	var total int64
+	for _, u := range holders {
+		total += ls.sizes[u]
+	}
+	for _, v := range members {
+		rv := ls.ranks[v]
+		t := clocks[rv]
+		if ls.holds[v] {
+			t += float64(len(members)-1) * (md.so() + md.copy(ls.sizes[v]))
+		}
+		for _, u := range holders {
+			if u == v {
+				continue
+			}
+			su := ls.sizes[u]
+			t = math.Max(t, arr[pair{u, v}]) + md.ro() + md.copy(su) + md.comb(su)
+		}
+		clocks[rv] = t
+	}
+	for _, v := range members {
+		ls.holds[v] = true
+		ls.sizes[v] = total
+	}
 }
 
 // estIndep: s uncoordinated binomial broadcasts; every processor relays

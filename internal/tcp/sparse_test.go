@@ -1,0 +1,415 @@
+package tcp
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// starLinks is a fan-out plan: rank 0 sends to every other rank.
+func starLinks(p int) [][2]int {
+	links := make([][2]int, 0, p-1)
+	for j := 1; j < p; j++ {
+		links = append(links, [2]int{0, j})
+	}
+	return links
+}
+
+// TestSparseSetupOpensOnlyPlannedConns: a sparse plan must dial exactly
+// its pair count, not the p(p−1)/2 mesh, and the planned links must
+// carry traffic without any further dial.
+func TestSparseSetupOpensOnlyPlannedConns(t *testing.T) {
+	const p = 16
+	m, err := NewMachine(p, Options{Links: starLinks(p)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if !m.Sparse() {
+		t.Error("machine with Links not marked sparse")
+	}
+	if got, want := m.PlannedPairs(), p-1; got != want {
+		t.Fatalf("planned %d pairs, want %d", got, want)
+	}
+	if got := m.ConnsOpened(); got != p-1 {
+		t.Fatalf("setup opened %d conns, want %d (full mesh would be %d)", got, p-1, p*(p-1)/2)
+	}
+	if _, err := m.Run(Options{RecvTimeout: 10 * time.Second}, func(pr *Proc) {
+		msg := comm.Message{Tag: 1, Parts: []comm.Part{{Origin: 0, Data: []byte("hi")}}}
+		if pr.Rank() == 0 {
+			for j := 1; j < p; j++ {
+				pr.Send(j, msg)
+			}
+		} else {
+			got := pr.Recv(0)
+			if string(got.Parts[0].Data) != "hi" {
+				panic("bad payload")
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ConnsOpened(); got != p-1 {
+		t.Errorf("planned sends dialed extra conns: %d total, want %d", got, p-1)
+	}
+}
+
+// TestLazyDialFallbackForUnplannedSend: a send over a link the plan did
+// not include must succeed via the on-demand dial, open exactly one new
+// connection, and reuse it on the next run.
+func TestLazyDialFallbackForUnplannedSend(t *testing.T) {
+	const p = 3
+	m, err := NewMachine(p, Options{Links: [][2]int{{0, 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if got := m.ConnsOpened(); got != 1 {
+		t.Fatalf("setup opened %d conns, want 1", got)
+	}
+	roundTrip := func() {
+		if _, err := m.Run(Options{RecvTimeout: 10 * time.Second}, func(pr *Proc) {
+			msg := comm.Message{Tag: 1, Parts: []comm.Part{{Origin: pr.Rank(), Data: []byte{byte(pr.Rank())}}}}
+			switch pr.Rank() {
+			case 0:
+				pr.Send(2, msg) // unplanned: 0–2 must lazy-dial
+			case 2:
+				got := pr.Recv(0)
+				if got.Parts[0].Data[0] != 0 {
+					panic("bad payload")
+				}
+				pr.Send(0, msg) // reverse direction shares the pair conn
+			}
+			if pr.Rank() == 0 {
+				pr.Recv(2)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	roundTrip()
+	if got := m.ConnsOpened(); got != 2 {
+		t.Fatalf("after lazy dial: %d conns opened, want 2", got)
+	}
+	roundTrip()
+	if got := m.ConnsOpened(); got != 2 {
+		t.Errorf("second run re-dialed: %d conns opened, want still 2", got)
+	}
+}
+
+// TestSparseReconnectRebuildsOnlyPlannedPairs is the reconnect-after-
+// abort contract on a sparse machine: the rebuild redials exactly the
+// planned pair set — not the full mesh, and not links that were only
+// ever opened lazily — and counts one reconnect.
+func TestSparseReconnectRebuildsOnlyPlannedPairs(t *testing.T) {
+	const p = 8
+	links := [][2]int{{0, 1}, {1, 2}, {2, 3}} // 3 planned pairs of 28 possible
+	m, err := NewMachine(p, Options{Links: links})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if got := m.ConnsOpened(); got != 3 {
+		t.Fatalf("setup opened %d conns, want 3", got)
+	}
+	// Run 1: open one lazy extra (0–7), then abort via rank panic.
+	_, err = m.Run(Options{RecvTimeout: 10 * time.Second}, func(pr *Proc) {
+		msg := comm.Message{Tag: 1, Parts: []comm.Part{{Origin: 0, Data: []byte("x")}}}
+		switch pr.Rank() {
+		case 0:
+			pr.Send(7, msg)
+			panic("boom")
+		case 7:
+			pr.Recv(0)
+			pr.Recv(0) // never arrives: unwinds on the abort
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("aborted run returned %v, want the rank panic", err)
+	}
+	after := m.ConnsOpened() // 3 planned + 1 lazy
+	if after != 4 {
+		t.Fatalf("after lazy dial and abort: %d conns opened, want 4", after)
+	}
+	// Run 2: the rebuild must redial the 3 planned pairs only.
+	if _, err := m.Run(Options{RecvTimeout: 10 * time.Second}, func(pr *Proc) {
+		msg := comm.Message{Tag: 1, Parts: []comm.Part{{Origin: pr.Rank(), Data: []byte("y")}}}
+		if pr.Rank() == 0 {
+			pr.Send(1, msg)
+		} else if pr.Rank() == 1 {
+			pr.Recv(0)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Reconnects(); got != 1 {
+		t.Errorf("Reconnects() = %d, want 1", got)
+	}
+	if got := m.ConnsOpened(); got != after+3 {
+		t.Errorf("rebuild opened %d conns (total %d), want 3 (total %d) — the lazy 0–7 link must not be rebuilt", got-after, got, after+3)
+	}
+}
+
+// TestKPortedRunMatchesInline runs identical traffic through the inline
+// path and the k-ported drivers (1 and 4 ports); delivered bundles must
+// match and the driver path must stay deadlock-free through
+// send-before-receive exchanges and barriers.
+func TestKPortedRunMatchesInline(t *testing.T) {
+	const p = 5
+	run := func(opts Options) [][]byte {
+		m, err := NewMachine(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		out := make([][]byte, p)
+		opts.RecvTimeout = 10 * time.Second
+		if _, err := m.Run(opts, func(pr *Proc) {
+			var acc []byte
+			for peer := 0; peer < p; peer++ {
+				if peer == pr.Rank() {
+					continue
+				}
+				got := comm.Exchange(pr, peer, comm.Message{
+					Tag: 1, Parts: []comm.Part{{Origin: pr.Rank(), Data: []byte{byte(pr.Rank())}}},
+				})
+				acc = append(acc, got.Parts[0].Data...)
+			}
+			pr.Barrier()
+			next, prev := (pr.Rank()+1)%p, (pr.Rank()+p-1)%p
+			pr.Send(next, comm.Message{Tag: 2, Parts: []comm.Part{{Origin: pr.Rank(), Data: acc}}})
+			m := pr.Recv(prev)
+			out[pr.Rank()] = append([]byte(nil), m.Parts[0].Data...)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	inline := run(Options{})
+	for _, ports := range []int{1, 4} {
+		ported := run(Options{Ports: ports})
+		for r := range inline {
+			if !bytes.Equal(inline[r], ported[r]) {
+				t.Errorf("ports=%d rank %d: delivered %v, inline %v", ports, r, ported[r], inline[r])
+			}
+		}
+	}
+}
+
+// TestKPortedStatsExact pins the ProcStats contract under concurrent
+// drivers: counters are incremented on the rank goroutine, so sends,
+// recvs and byte totals stay exact whatever the drivers overlap.
+func TestKPortedStatsExact(t *testing.T) {
+	const p, rounds = 4, 25
+	m, err := NewMachine(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	payload := make([]byte, 100)
+	res, err := m.Run(Options{Ports: 3, RecvTimeout: 10 * time.Second}, func(pr *Proc) {
+		msg := comm.Message{Tag: 1, Parts: []comm.Part{{Origin: pr.Rank(), Data: payload}}}
+		for r := 0; r < rounds; r++ {
+			for peer := 0; peer < p; peer++ {
+				if peer != pr.Rank() {
+					pr.Send(peer, msg)
+				}
+			}
+			for peer := 0; peer < p; peer++ {
+				if peer != pr.Rank() {
+					pr.Recv(peer)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := rounds * (p - 1)
+	wantBytes := int64(wantOps * len(payload))
+	for _, ps := range res.Procs {
+		if ps.Sends != wantOps || ps.Recvs != wantOps {
+			t.Errorf("rank %d: %d sends / %d recvs, want %d / %d", ps.Rank, ps.Sends, ps.Recvs, wantOps, wantOps)
+		}
+		if ps.SendBytes != wantBytes || ps.RecvBytes != wantBytes {
+			t.Errorf("rank %d: %d/%d bytes, want %d", ps.Rank, ps.SendBytes, ps.RecvBytes, wantBytes)
+		}
+	}
+}
+
+// TestPortsOptionValidation: Ports and FlushThreshold are mutually
+// exclusive, and a negative port count is rejected before the run
+// starts.
+func TestPortsOptionValidation(t *testing.T) {
+	m, err := NewMachine(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Run(Options{Ports: 2, FlushThreshold: 512}, func(pr *Proc) {}); err == nil {
+		t.Error("Ports+FlushThreshold accepted")
+	}
+	if _, err := m.Run(Options{Ports: -1}, func(pr *Proc) {}); err == nil {
+		t.Error("negative Ports accepted")
+	}
+	if _, err := m.Run(Options{Ports: 2}, func(pr *Proc) {}); err != nil {
+		t.Errorf("valid Ports run failed: %v", err)
+	}
+}
+
+// TestPlannedLinkValidation: out-of-range links are a setup error; self
+// links and duplicates are tolerated and collapse away.
+func TestPlannedLinkValidation(t *testing.T) {
+	if _, err := NewMachine(4, Options{Links: [][2]int{{0, 4}}}); err == nil {
+		t.Error("out-of-range link accepted")
+	}
+	m, err := NewMachine(4, Options{Links: [][2]int{{1, 1}, {0, 1}, {1, 0}, {0, 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if got := m.PlannedPairs(); got != 1 {
+		t.Errorf("planned %d pairs, want 1 (self links and duplicates collapse)", got)
+	}
+}
+
+// flakyWriteConn fails every write after the first (the handshake), so
+// a k-ported driver's first frame write errors.
+type flakyWriteConn struct {
+	net.Conn
+	writes atomic.Int64
+}
+
+func (c *flakyWriteConn) Write(b []byte) (int, error) {
+	if c.writes.Add(1) > 1 {
+		return 0, errors.New("injected link failure")
+	}
+	return c.Conn.Write(b)
+}
+
+// TestKPortedDriverFailureAttribution: a write failure on a driver
+// goroutine must surface as the owning rank's root-cause error — naming
+// the link driver — not as an anonymous unwind, and the machine must
+// survive into the next run via reconnect.
+func TestKPortedDriverFailureAttribution(t *testing.T) {
+	var dials atomic.Int64
+	m, err := NewMachine(2, Options{
+		Dial: func(addr string) (net.Conn, error) {
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			// Only the first mesh build gets the flaky conn; the rebuild
+			// dials clean ones.
+			if dials.Add(1) == 1 {
+				return &flakyWriteConn{Conn: c}, nil
+			}
+			return c, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	_, err = m.Run(Options{Ports: 1, RecvTimeout: 10 * time.Second}, func(pr *Proc) {
+		// Rank 1 dialed, so rank 1's writes ride the flaky conn.
+		if pr.Rank() == 1 {
+			pr.Send(0, comm.Message{Tag: 1, Parts: []comm.Part{{Origin: 1, Data: []byte("x")}}})
+		} else {
+			pr.Recv(1)
+		}
+	})
+	if err == nil {
+		t.Fatal("driver write failure did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "rank 1") || !strings.Contains(err.Error(), "link driver") {
+		t.Errorf("error %q does not attribute the failing link driver on rank 1", err)
+	}
+	if _, err := m.Run(Options{RecvTimeout: 10 * time.Second}, func(pr *Proc) {
+		if pr.Rank() == 0 {
+			pr.Send(1, comm.Message{Tag: 1, Parts: []comm.Part{{Origin: 0, Data: []byte("y")}}})
+		} else {
+			pr.Recv(0)
+		}
+	}); err != nil {
+		t.Fatalf("machine did not survive the driver failure: %v", err)
+	}
+	if got := m.Reconnects(); got != 1 {
+		t.Errorf("Reconnects() = %d, want 1", got)
+	}
+}
+
+// TestSparseBroadcastP128 is the scale gate: a 128-rank broadcast over
+// a sparse dissemination-pattern mesh — a scale where the full
+// p(p−1)/2 = 8128-connection mesh made real-byte runs impractical. The
+// binomial tree's hops are exactly the planned links, so no lazy dial
+// fires and setup opens ≤ the route count.
+func TestSparseBroadcastP128(t *testing.T) {
+	if testing.Short() {
+		t.Skip("128-rank socket machine")
+	}
+	runSparseBroadcast(t, 128)
+}
+
+// TestSparseBroadcastP64Smoke is the CI smoke job's entry point: the
+// same sparse broadcast at p=64.
+func TestSparseBroadcastP64Smoke(t *testing.T) {
+	runSparseBroadcast(t, 64)
+}
+
+func runSparseBroadcast(t *testing.T, p int) {
+	t.Helper()
+	links := disseminationLinks(p)
+	m, err := NewMachine(p, Options{Links: links})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	routes := len(links)
+	if opened := m.ConnsOpened(); opened > routes {
+		t.Fatalf("sparse setup opened %d conns, more than the %d routes", opened, routes)
+	}
+	if opened, full := m.ConnsOpened(), p*(p-1)/2; opened >= full {
+		t.Fatalf("sparse setup opened %d conns, not sparse vs the %d full mesh", opened, full)
+	}
+	payload := bytes.Repeat([]byte("s2p"), 341) // ~1KiB
+	got := make([][]byte, p)
+	if _, err := m.Run(Options{RecvTimeout: 30 * time.Second}, func(pr *Proc) {
+		// Recursive-doubling broadcast from rank 0: after the round with
+		// step k, every rank < 2k holds the payload. Each hop r → r+k is
+		// a dissemination link, so the whole tree rides planned conns.
+		r := pr.Rank()
+		var data []byte
+		if r == 0 {
+			data = payload
+		}
+		for k := 1; k < p; k <<= 1 {
+			switch {
+			case r < k:
+				if r+k < p {
+					pr.Send(r+k, comm.Message{Tag: 1, Parts: []comm.Part{{Origin: 0, Data: data}}})
+				}
+			case r < 2*k:
+				in := pr.Recv(r - k)
+				data = append([]byte(nil), in.Parts[0].Data...)
+			}
+		}
+		got[r] = data
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p; r++ {
+		if !bytes.Equal(got[r], payload) {
+			t.Fatalf("rank %d did not receive the broadcast (%d bytes)", r, len(got[r]))
+		}
+	}
+	if opened := m.ConnsOpened(); opened > routes {
+		t.Errorf("broadcast needed lazy dials: %d conns opened, routes %d", opened, routes)
+	}
+}

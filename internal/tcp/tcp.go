@@ -1,7 +1,9 @@
 // Package tcp executes an algorithm over real TCP sockets: every
-// processor owns a loopback listener, the machine is fully connected with
-// one TCP connection per processor pair, and messages travel as
-// length-prefixed frames. It is the distributed-transport engine of the
+// processor owns a loopback listener, peers are connected with one TCP
+// connection per processor pair — the full O(p²) mesh by default, or
+// only the route-derived sparse link set when Options.Links is given —
+// and messages travel as length-prefixed frames. It is the
+// distributed-transport engine of the
 // repro hint ("channels/gRPC approximation" of MPI): where internal/live
 // approximates message passing with in-process mailboxes, this engine
 // moves every byte through the kernel's network stack, exercising the
@@ -32,9 +34,33 @@
 //
 // An abort closes the mesh; the session survives it. The next Run
 // notices the damage, joins the orphaned reader pumps, and redials the
-// full mesh over the still-open listeners (counted in Reconnects), so a
-// killed connection costs one failed run plus one reconnect, not the
-// session.
+// planned link set — the sparse one when the machine was built with
+// Options.Links, the full mesh otherwise — over the still-open listeners
+// (counted in Reconnects), so a killed connection costs one failed run
+// plus one reconnect, not the session, and a sparse machine never pays
+// for connections its schedule does not use.
+//
+// # Sparse mesh and k-ported drivers
+//
+// The paper's algorithms send along a schedule's logical links, a set
+// that grows like p·log p — not p². Options.Links (a setup field) lists
+// those directed (src,dst) links; NewMachine then materializes only the
+// connections they need, multiplexing both directions of a peer pair
+// (and every logical link between that pair) over one shared TCP
+// connection. A send over a link that was not planned falls back to a
+// lazy on-demand dial with the same retry/backoff as setup, so sparse
+// planning is a performance contract, not a correctness one. Every rank
+// keeps a persistent acceptor, and registration waits until both
+// endpoints of a pair are installed, so two ranks racing to open the
+// same pair always converge on one connection.
+//
+// Options.Ports (a run field) adds the k-ported send path modeled after
+// the paper's multi-channel routers: each rank drives its outbound
+// links through per-destination driver goroutines with bounded queues,
+// and a semaphore of k port tokens bounds how many links transmit
+// concurrently. Ports=1 serializes transmissions like a one-port node;
+// Ports=k overlaps up to k links, which is what the k-ported broadcast
+// schedules in the registry exploit.
 //
 // # Failure semantics
 //
@@ -65,6 +91,7 @@ import (
 	"io"
 	"math"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -135,6 +162,18 @@ type Options struct {
 	// Dial overrides the dialer (fault injection in tests); nil means
 	// net.Dial("tcp", addr).
 	Dial func(addr string) (net.Conn, error)
+	// Links, when non-nil, lists the directed logical (src,dst) links the
+	// planned workload uses (a setup field, remembered for mesh
+	// rebuilds). NewMachine then materializes only the connections those
+	// links need — one shared TCP connection per unordered peer pair,
+	// multiplexing both directions — instead of the full O(p²) mesh.
+	// Self links are ignored; out-of-range ranks are a setup error. A
+	// send over an unplanned link falls back to a lazy on-demand dial
+	// with the same retry/backoff, so Links never changes what runs,
+	// only what is paid for up front. nil keeps the historical full
+	// mesh; an empty non-nil slice plans no links at all (everything
+	// lazy).
+	Links [][2]int
 	// DisableNoDelay leaves Nagle's algorithm enabled on the mesh's
 	// sockets (a setup field, remembered for rebuilds). By default every
 	// dialed and accepted connection sets TCP_NODELAY so small control
@@ -153,6 +192,16 @@ type Options struct {
 	// processor never waits while holding bytes a peer needs to make
 	// progress.
 	FlushThreshold int
+	// Ports, when positive, routes sends through per-destination link
+	// drivers (a run field, consumed per Run call): one writer goroutine
+	// per outbound connection with a bounded frame queue, gated by a
+	// semaphore of Ports transmission tokens per rank. A rank with
+	// several scheduled destinations then drives up to Ports links
+	// concurrently instead of serially — the engine's model of the
+	// paper's k-ported nodes. Ports=0 keeps the historical inline write
+	// path. Mutually exclusive with FlushThreshold (the driver queue is
+	// already the coalescing point).
+	Ports int
 	// Tracer, when non-nil, receives an obs.Event for every send, recv,
 	// wait (a receive that had to block) and barrier, stamped with
 	// wall-clock nanoseconds since the run started. The reader pumps
@@ -540,18 +589,16 @@ type state struct {
 	broken atomic.Bool
 	run    atomic.Pointer[runState]
 
-	// connMu guards conns, the flat list of every live connection
-	// endpoint. closeConns may be called from pump goroutines (abort)
-	// concurrently with nothing else: reconnect replaces the list only
-	// after joining all pumps.
-	connMu sync.Mutex
-	conns  []net.Conn
-}
-
-func (st *state) setConns(conns []net.Conn) {
-	st.connMu.Lock()
-	st.conns = conns
-	st.connMu.Unlock()
+	// connMu guards the connection table — conns (the flat list of every
+	// live endpoint, for teardown) and each Proc's per-peer conns slice.
+	// Registration happens under the write lock at setup time and on
+	// lazy dials; the send/pump hot paths read through the read lock.
+	// connCond (on the write lock) is broadcast on every registration,
+	// state change and teardown so setup and lazy dials can wait for
+	// both endpoints of a pair to be installed.
+	connMu   sync.RWMutex
+	connCond *sync.Cond
+	conns    []net.Conn
 }
 
 // closeConns closes every connection endpoint; double closes are
@@ -561,6 +608,7 @@ func (st *state) closeConns() {
 	for _, c := range st.conns {
 		c.Close()
 	}
+	st.connCond.Broadcast()
 	st.connMu.Unlock()
 }
 
@@ -583,12 +631,17 @@ func (st *state) abort(rs *runState, reason *abortError) {
 // comm.Comm; methods must only be called from the algorithm goroutine,
 // during a Machine.Run.
 type Proc struct {
-	rank  int
-	size  int
-	conns []net.Conn // conns[peer], nil at own rank; rebuilt on reconnect
+	rank int
+	size int
+	// conns[peer] is nil at the own rank and on never-established links
+	// (sparse machines dial lazily); guarded by st.connMu — rank
+	// goroutines read through link(), registration writes under the
+	// write lock.
+	conns []net.Conn
 	wmu   []sync.Mutex
 	in    *inbox
 	st    *state
+	m     *Machine // lazy-dial fallback for unplanned links
 
 	// Per-run fields, reset by beginRun under the machine lock (rank
 	// goroutines only live inside Run, so no further synchronization).
@@ -606,6 +659,16 @@ type Proc struct {
 	pend       [][]byte
 	dirty      []int
 
+	// k-ported send path (Options.Ports > 0): one linkDriver per
+	// destination this rank has sent to, spawned lazily by the rank
+	// goroutine; portSem holds Ports transmission tokens. derr records
+	// the first driver write failure so the owning rank — not just the
+	// machine-wide abort — reports the root cause (see driver.go).
+	ports   int
+	portSem chan struct{}
+	drivers []*linkDriver
+	derr    atomic.Pointer[driverFault]
+
 	sends, recvs               int
 	sendBytes, recvBytes       int64
 	barrierSends, barrierRecvs int
@@ -617,7 +680,7 @@ var _ comm.PhaseMarker = (*Proc)(nil)
 
 // beginRun resets the per-run half of the processor: a wiped inbox,
 // fresh counters, and the new run's state/deadline/batching threshold.
-func (p *Proc) beginRun(rs *runState, recvTimeout time.Duration, flushLimit int) {
+func (p *Proc) beginRun(rs *runState, recvTimeout time.Duration, flushLimit, ports int) {
 	p.in.reset(rs.tr != nil)
 	p.rs = rs
 	p.recvTimeout = recvTimeout
@@ -629,6 +692,19 @@ func (p *Proc) beginRun(rs *runState, recvTimeout time.Duration, flushLimit int)
 		p.pend[i] = p.pend[i][:0] // drop leftovers of an aborted run
 	}
 	p.dirty = p.dirty[:0]
+	p.ports = ports
+	p.derr.Store(nil)
+	if ports > 0 {
+		if cap(p.portSem) != ports {
+			p.portSem = make(chan struct{}, ports)
+		}
+		if p.drivers == nil {
+			p.drivers = make([]*linkDriver, p.size)
+		}
+		for i := range p.drivers {
+			p.drivers[i] = nil // stopDrivers already joined the old ones
+		}
+	}
 	p.iter, p.phase = -1, ""
 	p.sends, p.recvs = 0, 0
 	p.sendBytes, p.recvBytes = 0, 0
@@ -653,18 +729,40 @@ func (p *Proc) Size() int { return p.size }
 // classified: a write error after the run aborted is a secondary unwind,
 // not a root cause.
 func (p *Proc) writeTo(dst int, m comm.Message) {
+	if p.ports > 0 {
+		p.enqueue(dst, m)
+		return
+	}
 	if p.flushLimit > 0 {
 		p.bufferFrame(dst, m)
 		return
 	}
+	conn, err := p.link(dst)
+	if err != nil {
+		p.sendFail(dst, err)
+	}
 	sc := getScratch()
 	p.wmu[dst].Lock()
-	err := writeFrameTo(p.conns[dst], p.rs.epoch, m, sc)
+	err = writeFrameTo(conn, p.rs.epoch, m, sc)
 	p.wmu[dst].Unlock()
 	putScratch(sc)
 	if err != nil {
 		p.sendFail(dst, err)
 	}
+}
+
+// link returns the connection to dst, dialing it on demand when the
+// machine's planned link set did not include it. The fast path is one
+// read-locked table load; the slow path is the machine's serialized
+// lazy dial.
+func (p *Proc) link(dst int) (net.Conn, error) {
+	p.st.connMu.RLock()
+	c := p.conns[dst]
+	p.st.connMu.RUnlock()
+	if c != nil {
+		return c, nil
+	}
+	return p.m.ensureLink(p.rank, dst)
 }
 
 // sendFail panics out of a failed socket write with the abort
@@ -695,8 +793,13 @@ func (p *Proc) flushDst(dst int) {
 	if len(buf) == 0 {
 		return
 	}
+	conn, err := p.link(dst)
+	if err != nil {
+		p.pend[dst] = buf[:0]
+		p.sendFail(dst, err)
+	}
 	p.wmu[dst].Lock()
-	_, err := p.conns[dst].Write(buf)
+	_, err = conn.Write(buf)
 	p.wmu[dst].Unlock()
 	p.pend[dst] = buf[:0]
 	if err != nil {
@@ -837,10 +940,12 @@ type Result struct {
 	Procs []ProcStats
 }
 
-// Machine is a persistent fully connected loopback TCP machine: p
-// listeners, a dialed O(p²) mesh, and one reader pump per connection
-// end, built once by NewMachine and reused by every Run. Close tears it
-// down. Run and Close serialize; a Machine supports one run at a time.
+// Machine is a persistent loopback TCP machine: p listeners with
+// persistent acceptors, a dialed mesh — full by default, or only the
+// planned pairs when built with Options.Links — and one reader pump per
+// connection end, built once by NewMachine and reused by every Run.
+// Close tears it down. Run and Close serialize; a Machine supports one
+// run at a time.
 type Machine struct {
 	size      int
 	mu        sync.Mutex // serializes Run, Close and mesh rebuilds
@@ -848,11 +953,28 @@ type Machine struct {
 	procs     []*Proc
 	st        *state
 	pumps     sync.WaitGroup
+	acceptors sync.WaitGroup
 
 	dial           func(addr string) (net.Conn, error)
 	dialAttempts   int
 	dialBackoff    time.Duration
 	disableNoDelay bool
+
+	// pairs is the planned link set as sorted unordered peer pairs
+	// (a<b): every pair in it is dialed at setup and redialed on
+	// reconnect; anything else waits for a lazy dial. sparse records
+	// whether Options.Links was given (for Stats/diagnostics; the full
+	// mesh is just the complete pair set).
+	pairs  [][2]int
+	sparse bool
+	// connsOpened counts TCP connections dialed over the machine's
+	// lifetime (setup, lazy and reconnect dials; one per connection, not
+	// per endpoint).
+	connsOpened atomic.Int64
+	// lazyMu serializes on-demand dials so two ranks racing to open the
+	// same unplanned pair converge on one connection.
+	lazyMu   sync.Mutex
+	setupErr error // first setup failure, under st.connMu
 
 	epoch      uint32
 	reconnects atomic.Int64
@@ -860,11 +982,12 @@ type Machine struct {
 	dead       error // a failed mesh rebuild poisons the machine
 }
 
-// NewMachine listens on p loopback ports, dials the full mesh and starts
-// the reader pumps. Only the setup fields of opts are consumed (Dial,
-// DialAttempts, DialBackoff, plus Context to cancel setup); they are
-// remembered for mesh rebuilds after an abort. The caller owns the
-// machine and must Close it.
+// NewMachine listens on p loopback ports, dials the planned link set —
+// the full mesh by default, only the pairs Options.Links needs when
+// given — and starts the reader pumps. Only the setup fields of opts
+// are consumed (Dial, DialAttempts, DialBackoff, Links, plus Context to
+// cancel setup); they are remembered for mesh rebuilds after an abort.
+// The caller owns the machine and must Close it.
 func NewMachine(p int, opts Options) (*Machine, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("tcp: non-positive processor count %d", p)
@@ -881,13 +1004,19 @@ func NewMachine(p int, opts Options) (*Machine, error) {
 	if backoff <= 0 {
 		backoff = defaultDialBackoff
 	}
+	pairs, sparse, err := plannedPairs(p, opts.Links)
+	if err != nil {
+		return nil, err
+	}
 	m := &Machine{
 		size: p, st: &state{},
 		listeners: make([]net.Listener, p), procs: make([]*Proc, p),
 		dial: dial, dialAttempts: attempts, dialBackoff: backoff,
 		disableNoDelay: opts.DisableNoDelay,
+		pairs:          pairs, sparse: sparse,
 	}
 	m.st.procs = m.procs
+	m.st.connCond = sync.NewCond(&m.st.connMu)
 	for i := 0; i < p; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -900,17 +1029,69 @@ func NewMachine(p int, opts Options) (*Machine, error) {
 		in := &inbox{rank: i, boxes: make([]comm.Queue, p), barriers: make([]int, p)}
 		in.cond = sync.NewCond(&in.mu)
 		m.procs[i] = &Proc{
-			rank: i, size: p, wmu: make([]sync.Mutex, p),
-			in: in, st: m.st, iter: -1,
+			rank: i, size: p, conns: make([]net.Conn, p),
+			wmu: make([]sync.Mutex, p),
+			in:  in, st: m.st, m: m, iter: -1,
 		}
+	}
+	// Persistent acceptors: every rank keeps accepting for the
+	// machine's lifetime, so planned setup, reconnects and lazy dials
+	// all land on the same registration path. They exit when the
+	// listeners close (Close, or a fatal setup failure).
+	for j := 0; j < p; j++ {
+		m.acceptors.Add(1)
+		go m.acceptLoop(j)
 	}
 	if err := m.connect(opts.Context); err != nil {
 		for _, ln := range m.listeners {
 			ln.Close()
 		}
+		m.acceptors.Wait()
 		return nil, err
 	}
 	return m, nil
+}
+
+// plannedPairs normalizes a directed link list into the sorted,
+// deduplicated unordered peer pairs (a<b) the mesh must dial. A nil
+// list plans the full mesh.
+func plannedPairs(p int, links [][2]int) ([][2]int, bool, error) {
+	if links == nil {
+		pairs := make([][2]int, 0, p*(p-1)/2)
+		for a := 0; a < p; a++ {
+			for b := a + 1; b < p; b++ {
+				pairs = append(pairs, [2]int{a, b})
+			}
+		}
+		return pairs, false, nil
+	}
+	seen := make(map[[2]int]struct{}, len(links))
+	pairs := make([][2]int, 0, len(links))
+	for _, l := range links {
+		a, b := l[0], l[1]
+		if a < 0 || a >= p || b < 0 || b >= p {
+			return nil, false, fmt.Errorf("tcp: planned link %d→%d outside machine of %d ranks", a, b, p)
+		}
+		if a == b {
+			continue // self sends never touch a socket
+		}
+		if a > b {
+			a, b = b, a
+		}
+		pr := [2]int{a, b}
+		if _, dup := seen[pr]; dup {
+			continue
+		}
+		seen[pr] = struct{}{}
+		pairs = append(pairs, pr)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	return pairs, true, nil
 }
 
 // Size returns the processor count the machine was built for.
@@ -923,6 +1104,24 @@ func (m *Machine) Size() int { return m.size }
 func (m *Machine) Reconnects() int {
 	return int(m.reconnects.Load())
 }
+
+// ConnsOpened reports how many TCP connections the machine has dialed
+// over its lifetime — planned setup, reconnect rebuilds and lazy
+// on-demand dials, one count per connection (not per endpoint). On a
+// sparse machine straight after NewMachine this equals the planned pair
+// count; on a full mesh it is p(p−1)/2. Safe to call at any time.
+func (m *Machine) ConnsOpened() int {
+	return int(m.connsOpened.Load())
+}
+
+// PlannedPairs reports how many unordered peer pairs the machine dials
+// at setup (and redials on reconnect): the route-derived pair count on
+// a sparse machine, p(p−1)/2 on a full mesh.
+func (m *Machine) PlannedPairs() int { return len(m.pairs) }
+
+// Sparse reports whether the machine was built with an explicit link
+// plan (Options.Links) instead of the full mesh.
+func (m *Machine) Sparse() bool { return m.sparse }
 
 // Close tears the machine down: listeners and connections are closed and
 // the reader pumps joined. Close is idempotent; a run must not be in
@@ -940,6 +1139,7 @@ func (m *Machine) Close() error {
 	}
 	m.st.closeConns()
 	m.pumps.Wait()
+	m.acceptors.Wait()
 	return nil
 }
 
@@ -958,6 +1158,12 @@ func (m *Machine) Run(opts Options, fn func(*Proc)) (*Result, error) {
 		}
 		return nil, errors.New("tcp: Run on closed machine")
 	}
+	if opts.Ports < 0 {
+		return nil, fmt.Errorf("tcp: negative Ports %d", opts.Ports)
+	}
+	if opts.Ports > 0 && opts.FlushThreshold > 0 {
+		return nil, errors.New("tcp: Ports and FlushThreshold are mutually exclusive (the driver queue is the coalescing point)")
+	}
 	if m.st.broken.Load() {
 		if err := m.reconnect(opts.Context); err != nil {
 			// The failed rebuild closed the listeners; the machine is
@@ -975,7 +1181,7 @@ func (m *Machine) Run(opts Options, fn func(*Proc)) (*Result, error) {
 	rs := &runState{epoch: m.epoch, tr: opts.Tracer}
 	p := m.size
 	for _, pr := range m.procs {
-		pr.beginRun(rs, opts.RecvTimeout, opts.FlushThreshold)
+		pr.beginRun(rs, opts.RecvTimeout, opts.FlushThreshold, opts.Ports)
 	}
 	rs.start = time.Now()
 	// Inboxes are wiped and stamped for the new run; only now do the
@@ -1041,12 +1247,24 @@ func (m *Machine) Run(opts Options, fn func(*Proc)) (*Result, error) {
 					m.st.abort(rs, &abortError{cause: fmt.Errorf("machine aborted by rank %d", pr.rank)})
 				}
 			}()
+			// Whatever happens — including a panic in fn — the link
+			// drivers must be joined before the rank retires, or a
+			// driver could outlive the run's epoch. Registered before
+			// the recover handler runs (LIFO).
+			defer pr.stopDrivers()
 			fn(pr)
 			// Frames batched behind the algorithm's last sends still
 			// belong to peers; push them out before the rank retires
 			// (inside the recover scope — a flush failure aborts the
 			// run like any other send failure).
 			pr.flushPending()
+			// Likewise every queued driver frame: join the drivers, then
+			// surface the first driver failure as this rank's own error
+			// (the driver goroutine could not panic on our behalf).
+			pr.stopDrivers()
+			if df := pr.derr.Load(); df != nil {
+				panic(df.err)
+			}
 		}()
 	}
 	wg.Wait()
@@ -1079,12 +1297,16 @@ func (m *Machine) Run(opts Options, fn func(*Proc)) (*Result, error) {
 	return res, nil
 }
 
-// reconnect rebuilds the mesh over the still-open listeners after an
-// abort closed the connections: the orphaned pumps are joined first so
-// no stale goroutine can touch the new mesh.
+// reconnect rebuilds the planned link set — not the full mesh — over
+// the still-open listeners after an abort closed the connections: the
+// orphaned pumps are joined first so no stale goroutine can touch the
+// new mesh, then exactly the pairs the machine was planned with are
+// redialed (lazily opened extras from the previous life wait for their
+// next on-demand dial).
 func (m *Machine) reconnect(ctx context.Context) error {
 	m.st.closeConns()
 	m.pumps.Wait()
+	m.clearTable()
 	m.st.broken.Store(false)
 	if err := m.connect(ctx); err != nil {
 		return err
@@ -1093,149 +1315,287 @@ func (m *Machine) reconnect(ctx context.Context) error {
 	return nil
 }
 
-// connect builds the full mesh of connections over the machine's
-// listeners: rank i dials every rank j < i (with retry and backoff for
-// transient failures); the accepting side learns the dialer's rank from
-// a one-byte-frame handshake. On success it starts one reader pump per
-// connection end. On failure the listeners are closed (to unblock
-// Accept) and every partially built connection is torn down.
+// clearTable wipes the connection table and endpoint list after the
+// pumps are joined; the next connect or lazy dial repopulates it.
+func (m *Machine) clearTable() {
+	m.st.connMu.Lock()
+	m.st.conns = nil
+	for _, pr := range m.procs {
+		for k := range pr.conns {
+			pr.conns[k] = nil
+		}
+	}
+	m.st.connMu.Unlock()
+}
+
+// acceptLoop is rank j's persistent acceptor: it admits connections for
+// the machine's lifetime — planned setup dials, reconnect redials and
+// lazy on-demand dials all arrive here — and exits when the listener
+// closes (Close, or a fatal setup failure).
+func (m *Machine) acceptLoop(j int) {
+	defer m.acceptors.Done()
+	for {
+		conn, err := m.listeners[j].Accept()
+		if err != nil {
+			return
+		}
+		// The handshake read can block for up to handshakeTimeout; admit
+		// concurrently so one dead dialer cannot stall every other
+		// connection to this rank.
+		go m.admit(j, conn)
+	}
+}
+
+// admit reads the dialer's rank announcement and registers the accepted
+// endpoint. A connection that fails the handshake is dropped, not
+// fatal: the dialer's own error path (or the setup wait's deadline)
+// reports the failure with better attribution.
+func (m *Machine) admit(j int, conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	var hs [4]byte
+	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	peer := int(int32(binary.BigEndian.Uint32(hs[:])))
+	if peer < 0 || peer >= m.size || peer == j {
+		conn.Close()
+		return
+	}
+	m.applyNoDelay(conn)
+	if !m.register(j, peer, conn, false) {
+		conn.Close()
+	}
+}
+
+// register installs one connection endpoint in the table and starts its
+// reader pump, broadcasting to anyone waiting for the pair to complete.
+// It refuses — and the caller must close the connection — when the mesh
+// is closed or broken (a racing teardown) or when the slot is already
+// filled (a duplicate; the established connection keeps the pair's FIFO
+// order). dialed marks the dialing end, counted once per connection in
+// ConnsOpened.
+func (m *Machine) register(owner, peer int, conn net.Conn, dialed bool) bool {
+	st := m.st
+	st.connMu.Lock()
+	defer st.connMu.Unlock()
+	if st.closed.Load() || st.broken.Load() || m.procs[owner].conns[peer] != nil {
+		return false
+	}
+	m.procs[owner].conns[peer] = conn
+	st.conns = append(st.conns, conn)
+	if dialed {
+		m.connsOpened.Add(1)
+	}
+	m.pumps.Add(1)
+	go m.pump(m.procs[owner], peer, conn)
+	st.connCond.Broadcast()
+	return true
+}
+
+// setupFail records the first setup error and closes the listeners so
+// everything still blocked — acceptors, the pair wait — unwinds. After
+// it, the machine is beyond repair (NewMachine returns the error; a
+// failed rebuild poisons the session), which matches the historical
+// full-mesh behaviour.
+func (m *Machine) setupFail(err error) {
+	m.st.connMu.Lock()
+	if m.setupErr == nil {
+		m.setupErr = err
+	}
+	m.st.connCond.Broadcast()
+	m.st.connMu.Unlock()
+	for _, ln := range m.listeners {
+		ln.Close()
+	}
+}
+
+// dialRetry dials addr with the machine's retry/backoff policy and
+// announces src. It is the one dial path: planned setup, reconnect
+// rebuilds and lazy on-demand dials all come through here.
+func (m *Machine) dialRetry(ctxDone <-chan struct{}, src, dst int) (net.Conn, error) {
+	addr := m.listeners[dst].Addr().String()
+	var conn net.Conn
+	for attempt := 0; ; attempt++ {
+		var err error
+		conn, err = m.dial(addr)
+		if err == nil {
+			break
+		}
+		if attempt+1 >= m.dialAttempts {
+			return nil, fmt.Errorf("tcp: rank %d dial rank %d failed after %d attempts: %w", src, dst, m.dialAttempts, err)
+		}
+		select {
+		case <-time.After(m.dialBackoff << attempt):
+		case <-ctxDone:
+			return nil, fmt.Errorf("tcp: rank %d dial rank %d: setup canceled", src, dst)
+		}
+	}
+	m.applyNoDelay(conn)
+	var hs [4]byte
+	binary.BigEndian.PutUint32(hs[:], uint32(int32(src)))
+	if _, err := conn.Write(hs[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("tcp: rank %d handshake to %d: %w", src, dst, err)
+	}
+	return conn, nil
+}
+
+// ensureLink opens the connection for an unplanned (src,dst) link on
+// demand: the sparse mesh's correctness fallback. Dials are serialized
+// machine-wide and the dialer waits until the acceptor's endpoint is
+// registered too, so two ranks racing to open the same pair — or the
+// reverse direction of it — always converge on one connection.
+func (m *Machine) ensureLink(src, dst int) (net.Conn, error) {
+	m.lazyMu.Lock()
+	defer m.lazyMu.Unlock()
+	st := m.st
+	st.connMu.RLock()
+	c := m.procs[src].conns[dst]
+	st.connMu.RUnlock()
+	if c != nil {
+		return c, nil // a racing dial (either direction) won
+	}
+	conn, err := m.dialRetry(nil, src, dst)
+	if err != nil {
+		return nil, err
+	}
+	if !m.register(src, dst, conn, true) {
+		conn.Close()
+		return nil, fmt.Errorf("tcp: lazy dial %d→%d: machine torn down", src, dst)
+	}
+	// Wait for the acceptor's endpoint so the pair is fully established
+	// before any frame moves: a half-registered pair could otherwise
+	// race the reverse direction into a duplicate connection.
+	timer := time.AfterFunc(handshakeTimeout, func() {
+		st.connMu.Lock()
+		st.connCond.Broadcast()
+		st.connMu.Unlock()
+	})
+	defer timer.Stop()
+	deadline := time.Now().Add(handshakeTimeout)
+	st.connMu.Lock()
+	defer st.connMu.Unlock()
+	for m.procs[dst].conns[src] == nil {
+		if st.closed.Load() || st.broken.Load() {
+			return nil, fmt.Errorf("tcp: lazy dial %d→%d: machine torn down", src, dst)
+		}
+		if !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("tcp: lazy dial %d→%d: peer endpoint not registered within %v", src, dst, handshakeTimeout)
+		}
+		st.connCond.Wait()
+	}
+	return conn, nil
+}
+
+// connect dials the planned pairs over the machine's listeners — the
+// higher rank dials, the persistent acceptors register the other end —
+// and waits until every planned pair has both endpoints installed. On
+// failure the listeners are closed (to unblock the acceptors) and every
+// partially built connection is torn down.
 func (m *Machine) connect(ctx context.Context) error {
-	p := m.size
 	var ctxDone <-chan struct{}
 	if ctx != nil {
 		ctxDone = ctx.Done()
 	}
-	for _, pr := range m.procs {
-		pr.conns = make([]net.Conn, p)
+	m.st.connMu.Lock()
+	m.setupErr = nil
+	m.st.connMu.Unlock()
+
+	// Propagate setup cancellation to the pair wait.
+	stop := make(chan struct{})
+	defer close(stop)
+	if ctxDone != nil {
+		go func() {
+			select {
+			case <-ctxDone:
+				m.setupFail(fmt.Errorf("tcp: setup canceled: %w", ctx.Err()))
+			case <-stop:
+			}
+		}()
 	}
 
-	var wg sync.WaitGroup
-	errCh := make(chan error, p*p)
-	// fail reports a setup error and unblocks everyone still waiting in
-	// Accept by closing the listeners.
-	var failOnce sync.Once
-	fail := func(err error) {
-		errCh <- err
-		failOnce.Do(func() {
-			for _, ln := range m.listeners {
-				ln.Close()
-			}
-		})
+	// Dial side: the higher rank of every planned pair dials the lower
+	// and announces itself, one goroutine per dialing rank so setup
+	// latency stays O(pairs/p), with retry and backoff for transient
+	// failures.
+	byDialer := make([][]int, m.size)
+	for _, pr := range m.pairs {
+		byDialer[pr[1]] = append(byDialer[pr[1]], pr[0])
 	}
-	// Accept side: rank j accepts p-1-j connections (from all i > j).
-	for j := 0; j < p; j++ {
-		expect := p - 1 - j
-		if expect == 0 {
+	var wg sync.WaitGroup
+	for i, peers := range byDialer {
+		if len(peers) == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(j, expect int) {
+		go func(i int, peers []int) {
 			defer wg.Done()
-			for k := 0; k < expect; k++ {
-				conn, err := m.listeners[j].Accept()
+			for _, j := range peers {
+				conn, err := m.dialRetry(ctxDone, i, j)
 				if err != nil {
-					fail(fmt.Errorf("tcp: accept at rank %d: %w", j, err))
+					m.setupFail(err)
 					return
 				}
-				// Bound the handshake so a dialer dying between connect
-				// and announce cannot hang setup.
-				conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
-				var hs [4]byte
-				if _, err := io.ReadFull(conn, hs[:]); err != nil {
+				if !m.register(i, j, conn, true) {
 					conn.Close()
-					fail(fmt.Errorf("tcp: handshake at rank %d: %w", j, err))
+					m.setupFail(fmt.Errorf("tcp: rank %d dial rank %d: machine torn down during setup", i, j))
 					return
 				}
-				conn.SetReadDeadline(time.Time{})
-				peer := int(int32(binary.BigEndian.Uint32(hs[:])))
-				if peer <= j || peer >= p {
-					conn.Close()
-					fail(fmt.Errorf("tcp: rank %d handshake from invalid peer %d", j, peer))
-					return
-				}
-				m.applyNoDelay(conn)
-				m.procs[j].conns[peer] = conn
 			}
-		}(j, expect)
-	}
-	// Dial side: rank i dials every j < i and announces itself.
-	// Transient dial failures are retried with exponential backoff.
-	for i := 1; i < p; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			for j := 0; j < i; j++ {
-				addr := m.listeners[j].Addr().String()
-				var conn net.Conn
-				for attempt := 0; ; attempt++ {
-					var err error
-					conn, err = m.dial(addr)
-					if err == nil {
-						break
-					}
-					if attempt+1 >= m.dialAttempts {
-						fail(fmt.Errorf("tcp: rank %d dial rank %d failed after %d attempts: %w", i, j, m.dialAttempts, err))
-						return
-					}
-					select {
-					case <-time.After(m.dialBackoff << attempt):
-					case <-ctxDone:
-						fail(fmt.Errorf("tcp: rank %d dial rank %d: setup canceled: %w", i, j, ctx.Err()))
-						return
-					}
-				}
-				m.applyNoDelay(conn)
-				var hs [4]byte
-				binary.BigEndian.PutUint32(hs[:], uint32(int32(i)))
-				if _, err := conn.Write(hs[:]); err != nil {
-					conn.Close()
-					fail(fmt.Errorf("tcp: rank %d handshake to %d: %w", i, j, err))
-					return
-				}
-				m.procs[i].conns[j] = conn
-			}
-		}(i)
+		}(i, peers)
 	}
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		for _, pr := range m.procs {
-			for k, c := range pr.conns {
-				if c != nil {
-					c.Close()
-					pr.conns[k] = nil
-				}
-			}
+	err := m.waitPairs()
+	if err != nil {
+		for _, ln := range m.listeners {
+			ln.Close() // waitPairs timeout: unblock the acceptors too
 		}
+		m.st.closeConns()
+		m.pumps.Wait()
+		m.clearTable()
 		return err
-	default:
-	}
-
-	conns := make([]net.Conn, 0, p*(p-1))
-	for _, pr := range m.procs {
-		for _, c := range pr.conns {
-			if c != nil {
-				conns = append(conns, c)
-			}
-		}
-	}
-	m.st.setConns(conns)
-
-	// Reader pumps: one goroutine per connection end demultiplexes
-	// frames by tag into the owner's data or barrier queues, stamping
-	// each data frame's arrival instant on traced runs. Pumps outlive
-	// runs; the epoch check keeps every frame inside the run that sent
-	// it.
-	for _, pr := range m.procs {
-		for peer, conn := range pr.conns {
-			if conn == nil {
-				continue
-			}
-			m.pumps.Add(1)
-			go m.pump(pr, peer, conn)
-		}
 	}
 	return nil
+}
+
+// waitPairs blocks until every planned pair has both endpoints
+// registered (the dialed end synchronously, the accepted end by the
+// acceptor goroutines), a setup error is reported, or the handshake
+// deadline expires.
+func (m *Machine) waitPairs() error {
+	st := m.st
+	timer := time.AfterFunc(handshakeTimeout, func() {
+		st.connMu.Lock()
+		st.connCond.Broadcast()
+		st.connMu.Unlock()
+	})
+	defer timer.Stop()
+	deadline := time.Now().Add(handshakeTimeout)
+	st.connMu.Lock()
+	defer st.connMu.Unlock()
+	idx := 0
+	for {
+		if m.setupErr != nil {
+			return m.setupErr
+		}
+		for idx < len(m.pairs) {
+			a, b := m.pairs[idx][0], m.pairs[idx][1]
+			if m.procs[a].conns[b] == nil || m.procs[b].conns[a] == nil {
+				break
+			}
+			idx++
+		}
+		if idx == len(m.pairs) {
+			return nil
+		}
+		if !time.Now().Before(deadline) {
+			a, b := m.pairs[idx][0], m.pairs[idx][1]
+			return fmt.Errorf("tcp: setup: link %d–%d not established within %v", a, b, handshakeTimeout)
+		}
+		st.connCond.Wait()
+	}
 }
 
 // applyNoDelay sets the machine's TCP_NODELAY policy on one mesh socket

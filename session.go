@@ -13,6 +13,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/live"
 	"repro/internal/metrics"
+	"repro/internal/plan"
 	"repro/internal/sim"
 	"repro/internal/tcp"
 )
@@ -76,6 +77,16 @@ type SessionOptions struct {
 	// broadcast hops are never stalled by the kernel's send coalescing;
 	// disabling it exists for batching experiments.
 	DisableNoDelay bool
+	// Links, when non-nil, restricts the TCP engine's dialed mesh to
+	// the listed logical links instead of the full O(p²) pair set:
+	// Open establishes one connection per distinct unordered pair and
+	// any send outside the plan falls back to an on-demand dial.
+	// RoutesFor extracts the plan for a configuration; at p in the
+	// hundreds the sparse mesh is what keeps setup time and descriptor
+	// count proportional to the algorithm's ~p·log p schedule rather
+	// than p². Ignored by the other engines. An empty non-nil slice
+	// plans no links (everything dials lazily).
+	Links [][2]int
 }
 
 // SessionStats aggregate a session's activity across runs.
@@ -157,6 +168,7 @@ func Open(m *Machine, engine Engine, opts SessionOptions) (*Session, error) {
 			DialAttempts:   opts.DialAttempts,
 			DialBackoff:    opts.DialBackoff,
 			DisableNoDelay: opts.DisableNoDelay,
+			Links:          opts.Links,
 		})
 		if err != nil {
 			return nil, err
@@ -166,6 +178,29 @@ func Open(m *Machine, engine Engine, opts SessionOptions) (*Session, error) {
 		return nil, fmt.Errorf("stpbcast: unknown engine %v", engine)
 	}
 	return s, nil
+}
+
+// RoutesFor extracts the sparse connection plan for one configuration:
+// the directed logical links the configured algorithm's schedule uses on
+// machine m, plus the engine's dissemination-barrier links. Feed the
+// result to SessionOptions.Links to open a TCP session that dials only
+// those connections — at p in the hundreds that replaces the O(p²)
+// full-mesh setup with one proportional to the algorithm's ~p·log p
+// schedule. Config.Algorithm AutoAlgorithm resolves through the planner
+// exactly as Run would.
+func RoutesFor(m *Machine, cfg Config) ([][2]int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	spec, err := cfg.spec(m)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := resolveAlgorithm(m, cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Routes(m, alg, spec, cfg.MsgBytes)
 }
 
 // Engine returns the engine the session was opened with.
@@ -525,6 +560,7 @@ func (s *Session) runReal(cfg Config, opts RunOptions) (*Result, int64, error) {
 			RunTimeout:     opts.RunTimeout,
 			RecvTimeout:    opts.RecvTimeout,
 			FlushThreshold: opts.FlushThreshold,
+			Ports:          opts.Ports,
 			Tracer:         tracerOrNil(opts.Trace),
 		}, func(pr *tcp.Proc) { body(pr) })
 		if err != nil {

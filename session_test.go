@@ -3,6 +3,7 @@ package stpbcast_test
 import (
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -535,6 +536,101 @@ func TestSessionStatsDuringRun(t *testing.T) {
 				t.Fatalf("final Stats().Runs = %d, want %d", st.Runs, runs)
 			}
 		})
+	}
+}
+
+// TestSessionStatsExactUnderKPortedConcurrency is the k-ported
+// accounting regression: with every send routed through concurrent link
+// drivers (Ports=4) on a sparse route-planned mesh, pipelined RunAsync
+// submissions racing concurrent Stats() readers must still produce
+// exact byte totals — each run contributes precisely the deterministic
+// per-run payload volume, and Stats never exposes a partially
+// accumulated run (Bytes stays a multiple of the per-run total at every
+// observation). Run under -race this also proves the driver counters
+// stay rank-goroutine-local.
+func TestSessionStatsExactUnderKPortedConcurrency(t *testing.T) {
+	m := stpbcast.NewParagon(4, 4)
+
+	// Reference run on a plain session: the deterministic payload byte
+	// total one broadcast of sessionCfg moves.
+	ref, err := stpbcast.Open(m, stpbcast.EngineTCP, stpbcast.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Run(sessionCfg, stpbcast.RunOptions{RecvTimeout: 10 * time.Second}); err != nil {
+		ref.Close()
+		t.Fatalf("reference run: %v", err)
+	}
+	refStats, err := ref.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRun := refStats.Bytes
+	if perRun <= 0 {
+		t.Fatalf("reference run moved no bytes: %+v", refStats)
+	}
+
+	links, err := stpbcast.RoutesFor(m, sessionCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := stpbcast.Open(m, stpbcast.EngineTCP, stpbcast.SessionOptions{Links: links})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := s.Stats()
+				if st.Bytes%perRun != 0 {
+					t.Errorf("Stats().Bytes = %d mid-run, not a multiple of the per-run total %d", st.Bytes, perRun)
+					return
+				}
+				if st.Failures != 0 {
+					t.Errorf("unexpected failures: %+v", st)
+					return
+				}
+			}
+		}()
+	}
+
+	const runs = 8
+	futures := make([]*stpbcast.Future, runs)
+	for i := range futures {
+		f, err := s.RunAsync(sessionCfg, stpbcast.RunOptions{Ports: 4, RecvTimeout: 10 * time.Second})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		futures[i] = f
+	}
+	for i, f := range futures {
+		res, err := f.Wait()
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		checkBundles(t, res, m.P(), sessionCfg.Sources)
+	}
+	close(stop)
+	readers.Wait()
+
+	st := s.Stats()
+	if st.Runs != runs || st.Failures != 0 {
+		t.Fatalf("stats = %+v, want %d runs, 0 failures", st, runs)
+	}
+	if st.Bytes != int64(runs)*perRun {
+		t.Fatalf("Stats().Bytes = %d under k-ported drivers, want exactly %d (%d runs × %d)",
+			st.Bytes, int64(runs)*perRun, runs, perRun)
 	}
 }
 

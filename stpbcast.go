@@ -477,6 +477,14 @@ type RunOptions struct {
 	// blocks, so the buffered-Send contract is preserved. Useful for
 	// barrier- and ack-heavy traffic; ignored by the other engines.
 	FlushThreshold int
+	// Ports, when positive, routes the TCP engine's sends through k
+	// per-destination link drivers instead of writing inline: each rank
+	// may have up to Ports frame transmissions in flight at once, the
+	// k-ported node model of the paper's multi-channel routers. Ports=1
+	// serializes transmissions through one driver; Ports and
+	// FlushThreshold are mutually exclusive. Ignored by the other
+	// engines.
+	Ports int
 }
 
 // RunLive executes the broadcast on the live goroutine engine with real
