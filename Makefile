@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test race chaos fuzz-seeds bench bench-baseline bench-tcp bench-tcp-baseline bench-all smoke-p64 trace-smoke daemon-smoke api api-check ci
+.PHONY: all fmt vet build test race chaos fuzz-seeds bench bench-baseline bench-tcp bench-tcp-baseline bench-all smoke-p64 trace-smoke daemon-smoke cluster-smoke api api-check ci
 
 all: ci
 
@@ -95,6 +95,12 @@ trace-smoke:
 daemon-smoke:
 	sh scripts/daemon_smoke.sh
 
+# Multi-process cluster smoke: stpworker spawns 4 worker OS processes,
+# runs a p=64 sparse broadcast across them, and fails on any lazy dial
+# (plus an adopt-mode leg with externally started workers).
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
+
 # Golden public-API surface of the facade package. `make api` refreshes
 # the committed file after an intentional API change; `make api-check`
 # (run by CI) fails when the tree and api/stpbcast.txt disagree, so the
@@ -106,4 +112,4 @@ api:
 api-check:
 	$(GO) run ./cmd/stpapi -dir . -check api/stpbcast.txt
 
-ci: fmt vet build race fuzz-seeds smoke-p64 trace-smoke daemon-smoke api-check bench-tcp
+ci: fmt vet build race fuzz-seeds smoke-p64 trace-smoke daemon-smoke cluster-smoke api-check bench-tcp

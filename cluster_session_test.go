@@ -1,0 +1,120 @@
+package stpbcast_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	stpbcast "repro"
+)
+
+// TestMain routes coordinator re-executions of this test binary into
+// worker mode: the cluster session tests spawn real worker OS
+// processes, and MaybeClusterWorker is how any binary — this one
+// included — serves as one.
+func TestMain(m *testing.M) {
+	stpbcast.MaybeClusterWorker()
+	os.Exit(m.Run())
+}
+
+// TestClusterSession drives a multi-process broadcast through the
+// public Session API: RoutesFor's sparse plan, four spawned worker
+// processes, several runs over the warm cluster, zero surprises in the
+// stats.
+func TestClusterSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	m := stpbcast.NewParagon(8, 8)
+	cfg := stpbcast.Config{Algorithm: "Br_Lin", Distribution: "E", Sources: 4, MsgBytes: 1024}
+	links, err := stpbcast.RoutesFor(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := stpbcast.Open(m, stpbcast.EngineTCP, stpbcast.SessionOptions{
+		Links:   links,
+		Cluster: &stpbcast.ClusterSpec{Workers: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	opts := stpbcast.RunOptions{RecvTimeout: time.Minute}
+	for i := 0; i < 2; i++ {
+		res, err := s.Run(cfg, opts)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if res.Elapsed <= 0 {
+			t.Fatalf("run %d: non-positive elapsed %v", i, res.Elapsed)
+		}
+		if res.Bundles != nil {
+			t.Fatalf("run %d: cluster run returned bundles; payload bytes crossed the control plane", i)
+		}
+	}
+	// Async submission rides the same path.
+	f, err := s.RunAsync(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Wait(); err != nil {
+		t.Fatalf("async run: %v", err)
+	}
+	stats, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs != 3 || stats.Failures != 0 || stats.Reconnects != 0 {
+		t.Fatalf("stats = %+v, want 3 clean runs with no reconnects", stats)
+	}
+	if stats.Bytes == 0 {
+		t.Fatal("cluster runs reported zero payload bytes sent")
+	}
+}
+
+// TestClusterSessionRejections: the option surface a distributed
+// session cannot honor must fail fast with a named reason, and the
+// cluster engine gate must hold at Open.
+func TestClusterSessionRejections(t *testing.T) {
+	if _, err := stpbcast.Open(stpbcast.NewParagon(2, 2), stpbcast.EngineLive, stpbcast.SessionOptions{
+		Cluster: &stpbcast.ClusterSpec{Workers: 2},
+	}); err == nil || !strings.Contains(err.Error(), "EngineTCP") {
+		t.Fatalf("live cluster open error = %v", err)
+	}
+
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	m := stpbcast.NewParagon(2, 2)
+	s, err := stpbcast.Open(m, stpbcast.EngineTCP, stpbcast.SessionOptions{
+		Cluster: &stpbcast.ClusterSpec{Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cfg := stpbcast.Config{Algorithm: "Br_Lin", Distribution: "E", Sources: 2, MsgBytes: 64}
+	cases := []struct {
+		name string
+		cfg  stpbcast.Config
+		opts stpbcast.RunOptions
+		want string
+	}{
+		{"payload", cfg, stpbcast.RunOptions{Payload: func(int) []byte { return nil }}, "Payload"},
+		{"trace", cfg, stpbcast.RunOptions{Trace: stpbcast.NewTraceRecorder(0)}, "tracing"},
+		{"faults", cfg, stpbcast.RunOptions{Faults: &stpbcast.FaultPlan{}}, "fault"},
+		{"zero-bytes", stpbcast.Config{Algorithm: "Br_Lin", Distribution: "E", Sources: 2}, stpbcast.RunOptions{}, "MsgBytes"},
+		{"repositioning", stpbcast.Config{Algorithm: "Repos_Lin", Distribution: "E", Sources: 2, MsgBytes: 64}, stpbcast.RunOptions{}, "broadcast algorithms"},
+	}
+	for _, tc := range cases {
+		if _, err := s.Run(tc.cfg, tc.opts); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	// The rejections must not have consumed the cluster.
+	if _, err := s.Run(cfg, stpbcast.RunOptions{RecvTimeout: time.Minute}); err != nil {
+		t.Fatalf("cluster unusable after rejected runs: %v", err)
+	}
+}

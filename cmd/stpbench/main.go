@@ -37,6 +37,10 @@ import (
 )
 
 func main() {
+	// A cluster coordinator may have re-executed this binary as a
+	// worker process (the figCluster experiment does); route such
+	// copies into worker mode before anything else.
+	stpbcast.MaybeClusterWorker()
 	list := flag.Bool("list", false, "list the available experiments")
 	fig := flag.String("fig", "", "experiment id to run (e.g. fig3), or 'all'")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table (with -fig)")
@@ -206,6 +210,14 @@ func validateFlags() error {
 		}
 		if intFlag("ports") > 0 && intFlag("flush") > 0 {
 			return fmt.Errorf("-flush and -ports are mutually exclusive (batched inline writes vs link drivers)")
+		}
+		// -flush, -ports and -sparse shape the TCP mesh only; under any
+		// other engine (including the default "both" sweep) they would
+		// be silently ignored for part or all of the comparison.
+		for _, name := range []string{"flush", "ports", "sparse"} {
+			if set[name] && orBoth(flag.Lookup("engine").Value.String()) != "tcp" {
+				return fmt.Errorf("-%s is TCP-only; pass -engine tcp alongside it", name)
+			}
 		}
 	case "-daemon":
 		if n := intFlag("requests"); n <= 0 {

@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/plan"
+	"repro/internal/topology"
+)
+
+// TestMain lets the test binary itself serve as a cluster worker: the
+// spawn tests re-execute it with WorkerEnv set, and MaybeWorker routes
+// those copies into ServeWorker instead of the test runner.
+func TestMain(m *testing.M) {
+	MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// testRoutes builds the Br_Lin sparse link plan for a rows×cols mesh
+// with s sources under distribution E.
+func testRoutes(t *testing.T, rows, cols, s, msgLen int) ([][2]int, []int) {
+	t.Helper()
+	m := machine.Paragon(rows, cols)
+	d, err := dist.ByName("E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources, err := d.Sources(rows, cols, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The indexing must match the worker side's default (snake), or the
+	// traced routes would not be the links the cluster run uses.
+	spec := core.Spec{Rows: rows, Cols: cols, Sources: sources, Indexing: topology.SnakeRowMajor}
+	routes, err := plan.Routes(m, core.BrLin(), spec, msgLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return routes, sources
+}
+
+// adoptWorkers starts n in-process workers (goroutines running the
+// real worker protocol over real control sockets) against a
+// coordinator spec and returns the started coordinator.
+func adoptCluster(t *testing.T, spec Spec, n int) *Coordinator {
+	t.Helper()
+	spec.Adopt = true
+	spec.Workers = n
+	spec.OnListen = func(addr string) {
+		for i := 0; i < n; i++ {
+			go func() {
+				if err := ServeWorker(addr); err != nil {
+					t.Errorf("worker: %v", err)
+				}
+			}()
+		}
+	}
+	c, err := Start(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClusterBroadcastAdoptedWorkers(t *testing.T) {
+	const rows, cols, s, msgLen = 4, 4, 4, 512
+	routes, sources := testRoutes(t, rows, cols, s, msgLen)
+	c := adoptCluster(t, Spec{P: rows * cols, Links: routes}, 2)
+
+	rs := RunSpec{
+		Rows: rows, Cols: cols, Sources: sources, Algorithm: "Br_Lin",
+		MsgBytes: msgLen, RecvTimeoutNs: int64(time.Minute),
+	}
+	for i := 0; i < 3; i++ { // warm mesh reuse across runs
+		res, err := c.Run(rs)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if len(res.Procs) != rows*cols {
+			t.Fatalf("run %d: %d proc stats, want %d", i, len(res.Procs), rows*cols)
+		}
+		for r, ps := range res.Procs {
+			if ps.Rank != r {
+				t.Fatalf("run %d: merged stats out of order at %d: rank %d", i, r, ps.Rank)
+			}
+		}
+		if res.LazyDials != 0 {
+			t.Fatalf("run %d: %d lazy dials over the planned sparse mesh, want 0", i, res.LazyDials)
+		}
+	}
+	if got := c.Resets(); got != 0 {
+		t.Fatalf("healthy cluster recorded %d resets", got)
+	}
+}
+
+// TestClusterFullMeshAdopted covers the nil-Links path: every pair is
+// planned, split across workers, nothing lazy.
+func TestClusterFullMeshAdopted(t *testing.T) {
+	const rows, cols, s, msgLen = 2, 4, 2, 256
+	_, sources := testRoutes(t, rows, cols, s, msgLen)
+	c := adoptCluster(t, Spec{P: rows * cols}, 2)
+	res, err := c.Run(RunSpec{
+		Rows: rows, Cols: cols, Sources: sources, Algorithm: "Br_Lin",
+		MsgBytes: msgLen, RecvTimeoutNs: int64(time.Minute),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LazyDials != 0 {
+		t.Fatalf("full-mesh cluster made %d lazy dials", res.LazyDials)
+	}
+	p := rows * cols
+	if res.PlannedPairs == 0 || res.ConnsOpened < p-1 {
+		t.Fatalf("suspicious mesh counters: pairs %d conns %d", res.PlannedPairs, res.ConnsOpened)
+	}
+}
+
+// TestClusterRecoversBrokenMesh drives the coordinator's two-phase
+// recovery: a run aborted by an immediate deadline breaks the mesh on
+// every worker; the next healthy run must transparently reset and
+// reconnect the whole cluster and then succeed with no lazy dials.
+func TestClusterRecoversBrokenMesh(t *testing.T) {
+	const rows, cols, s, msgLen = 4, 4, 2, 512
+	routes, sources := testRoutes(t, rows, cols, s, msgLen)
+	c := adoptCluster(t, Spec{P: rows * cols, Links: routes}, 2)
+
+	good := RunSpec{
+		Rows: rows, Cols: cols, Sources: sources, Algorithm: "Br_Lin",
+		MsgBytes: msgLen, RecvTimeoutNs: int64(time.Minute),
+	}
+	if _, err := c.Run(good); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	doomed := good
+	doomed.RunTimeoutNs = 1 // aborts while the cluster is still arming
+	if _, err := c.Run(doomed); err == nil {
+		t.Fatal("1ns-deadline run succeeded")
+	}
+	res, err := c.Run(good)
+	if err != nil {
+		t.Fatalf("run after recovery: %v", err)
+	}
+	if res.LazyDials != 0 {
+		t.Fatalf("recovered mesh made %d lazy dials", res.LazyDials)
+	}
+	if got := c.Resets(); got == 0 {
+		t.Fatal("broken mesh recovered without a coordinator reset")
+	}
+}
+
+// TestClusterRejectsBadRunSpec: a run no worker can build (unknown
+// algorithm) must fail cleanly without burning a recovery cycle, and
+// the cluster must stay usable.
+func TestClusterRejectsBadRunSpec(t *testing.T) {
+	const rows, cols, s, msgLen = 2, 4, 2, 256
+	routes, sources := testRoutes(t, rows, cols, s, msgLen)
+	c := adoptCluster(t, Spec{P: rows * cols, Links: routes}, 2)
+
+	_, err := c.Run(RunSpec{
+		Rows: rows, Cols: cols, Sources: sources, Algorithm: "No_Such_Alg",
+		MsgBytes: msgLen, RecvTimeoutNs: int64(time.Minute),
+	})
+	if err == nil || !strings.Contains(err.Error(), "No_Such_Alg") {
+		t.Fatalf("bad algorithm error = %v", err)
+	}
+	if got := c.Resets(); got != 0 {
+		t.Fatalf("bad run spec burned %d recovery cycles", got)
+	}
+	if _, err := c.Run(RunSpec{
+		Rows: rows, Cols: cols, Sources: sources, Algorithm: "Br_Lin",
+		MsgBytes: msgLen, RecvTimeoutNs: int64(time.Minute),
+	}); err != nil {
+		t.Fatalf("cluster unusable after rejected spec: %v", err)
+	}
+}
+
+// TestClusterSpawnedProcesses is the real thing in miniature: the
+// coordinator re-executes this test binary as 4 worker OS processes
+// (via TestMain/MaybeWorker) and runs a p=64 sparse broadcast across
+// them with zero lazy dials. The p=256 version is the figCluster
+// experiment's shape test.
+func TestClusterSpawnedProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	const rows, cols, s, msgLen = 8, 8, 4, 512
+	routes, sources := testRoutes(t, rows, cols, s, msgLen)
+	c, err := Start(Spec{Workers: 4, P: rows * cols, Links: routes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	pids := map[int]bool{os.Getpid(): true}
+	for _, pid := range c.WorkerPIDs() {
+		pids[pid] = true
+	}
+	if len(pids) != 5 {
+		t.Fatalf("expected 4 distinct worker processes plus the test, got PIDs %v", c.WorkerPIDs())
+	}
+	res, err := c.Run(RunSpec{
+		Rows: rows, Cols: cols, Sources: sources, Algorithm: "Br_Lin",
+		MsgBytes: msgLen, RecvTimeoutNs: int64(time.Minute),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Procs) != rows*cols {
+		t.Fatalf("%d proc stats, want %d", len(res.Procs), rows*cols)
+	}
+	if res.LazyDials != 0 {
+		t.Fatalf("%d lazy dials across processes, want 0", res.LazyDials)
+	}
+	if c.InterLinks() == 0 {
+		t.Fatal("partition reports no inter-worker links; the broadcast never crossed a process boundary")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	stpbcast "repro"
 )
 
 // simKey is the cheapest pool key: the simulator needs no engine setup.
@@ -163,4 +165,52 @@ func TestPoolOpenFailureDoesNotPoisonKey(t *testing.T) {
 		t.Fatal(err)
 	}
 	l.Release()
+}
+
+// TestPoolEvictionSparesOutstandingAsyncRun is the pipelined-request
+// race: the server's async path unlocks the lease right after RunAsync
+// (so same-key requests can pipeline behind it) and holds only the
+// lease's ref while waiting on the Future. Neither the TTL sweep nor
+// LRU eviction at capacity may tear down the session while that run is
+// still in flight — refs pin the entry until Release.
+func TestPoolEvictionSparesOutstandingAsyncRun(t *testing.T) {
+	p := NewPool(PoolOptions{MaxSessions: 1, IdleTTL: time.Minute})
+	defer p.Close()
+	l, err := p.Acquire(Key{Engine: "tcp", Topology: "paragon", Rows: 2, Cols: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The source rank blocks producing its payload, keeping the async
+	// run deterministically in flight until the test releases it.
+	release := make(chan struct{})
+	fut, err := l.Session().RunAsync(
+		stpbcast.Config{Algorithm: "Br_Lin", Distribution: "E", Sources: 1, MsgBytes: 8},
+		stpbcast.RunOptions{
+			RecvTimeout: time.Minute,
+			Payload: func(rank int) []byte {
+				<-release
+				return []byte{byte(rank)}
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Unlock() // the async path: serialization lock gone, ref still held
+
+	if n := p.Sweep(time.Now().Add(time.Hour)); n != 0 {
+		t.Fatalf("Sweep tore down %d sessions with a Future outstanding", n)
+	}
+	if _, err := p.Acquire(simKey(4, 4)); err != ErrPoolFull {
+		t.Fatalf("Acquire at capacity = %v, want ErrPoolFull (the held mesh must not be evicted)", err)
+	}
+	close(release)
+	if _, err := fut.Wait(); err != nil {
+		t.Fatalf("async run on the pinned session: %v", err)
+	}
+	l.Release()
+	// Resolved and released: the very sweep that had to spare the
+	// session now evicts it.
+	if n := p.Sweep(time.Now().Add(time.Hour)); n != 1 {
+		t.Fatalf("post-release Sweep evicted %d sessions, want 1", n)
+	}
 }

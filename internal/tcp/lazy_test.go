@@ -1,0 +1,128 @@
+package tcp
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// lazyMsg is the one-part payload the lazy-dial tests push over
+// unplanned links.
+func lazyMsg(origin int) comm.Message {
+	return comm.Message{Tag: 1, Parts: []comm.Part{{Origin: origin, Data: []byte("lazy")}}}
+}
+
+// TestLazyDialHonorsRunContext: a lazy dial must give up as soon as the
+// run's context is canceled. Historically ensureLink dialed with no
+// context at all (dialRetry(nil, ...)), so a black-holed peer pinned
+// the sending rank — and with it the whole run — for the full OS
+// connect timeout even after the caller had canceled.
+func TestLazyDialHonorsRunContext(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+
+	m, err := NewMachine(2, Options{
+		Links: [][2]int{}, // plan nothing: the one send below must lazy-dial
+		Dial: func(addr string) (net.Conn, error) {
+			<-release // a black-holed peer: connect never completes
+			return nil, errors.New("released")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = m.Run(Options{Context: ctx, RecvTimeout: time.Minute}, func(pr *Proc) {
+		if pr.Rank() == 0 {
+			pr.Send(1, lazyMsg(0)) // blocks in the lazy dial
+		} else {
+			pr.Recv(0)
+		}
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("run over a black-holed lazy link succeeded")
+	}
+	// Prompt means "the cancel propagated", not "the dial timed out":
+	// well under both handshakeTimeout and any OS connect timeout.
+	if elapsed > 5*time.Second {
+		t.Fatalf("canceled run took %v to return, want prompt unwind", elapsed)
+	}
+}
+
+// TestLazyDialPerPairSerialization: lazy dials are serialized per
+// unordered pair, not machine-wide. Historically ensureLink held one
+// machine lock across the dial and the endpoint wait, so a single
+// unreachable peer head-of-line-blocked every other lazy dial; here a
+// healthy 0–1 lazy dial must complete while the 2–3 dial is stuck in a
+// black hole.
+func TestLazyDialPerPairSerialization(t *testing.T) {
+	const p = 4
+	release := make(chan struct{})
+	defer close(release)
+	stuckStarted := make(chan struct{})
+	var blackholed atomic.Value // rank 3's listener address, set post-setup
+	blackholed.Store("")
+	var stuckOnce atomic.Bool
+
+	m, err := NewMachine(p, Options{
+		Links: [][2]int{}, // plan nothing: every send below lazy-dials
+		Dial: func(addr string) (net.Conn, error) {
+			if addr == blackholed.Load().(string) {
+				if stuckOnce.CompareAndSwap(false, true) {
+					close(stuckStarted)
+				}
+				<-release
+				return nil, errors.New("released")
+			}
+			return net.Dial("tcp", addr)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	blackholed.Store(m.LocalAddrs()[3])
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	healthyDone := make(chan struct{})
+	go func() {
+		m.Run(Options{Context: ctx, RecvTimeout: time.Minute}, func(pr *Proc) {
+			switch pr.Rank() {
+			case 2:
+				pr.Send(3, lazyMsg(2)) // stuck in the black-holed dial
+			case 3:
+				pr.Recv(2)
+			case 0:
+				// Dial only once the 2–3 dial is provably in flight, so a
+				// machine-wide lock would deterministically block us.
+				<-stuckStarted
+				pr.Send(1, lazyMsg(0))
+			case 1:
+				pr.Recv(0)
+				close(healthyDone)
+			}
+		})
+	}()
+
+	select {
+	case <-healthyDone:
+		// The healthy pair's lazy dial completed while 2–3 was stuck.
+	case <-time.After(10 * time.Second):
+		t.Fatal("healthy 0-1 lazy dial blocked behind the black-holed 2-3 dial")
+	}
+	cancel() // unwind the stuck pair; Run's error is the context's
+}

@@ -54,6 +54,21 @@
 // endpoints of a pair are installed, so two ranks racing to open the
 // same pair always converge on one connection.
 //
+// # Worker machines (cluster partitioning)
+//
+// NewWorkerMachine builds the partial machine one cluster worker
+// process owns: listeners, procs and reader pumps for a contiguous rank
+// range [lo,hi) only, with Options.ListenHost choosing the bind
+// address. The coordinator (internal/cluster) collects every worker's
+// LocalAddrs, distributes the merged rank→address map, and drives
+// ConnectMesh so each planned pair is dialed by the worker owning its
+// higher rank — the same frame protocol, handshake and registration
+// path as the single-process mesh, now across OS processes. Runs start
+// with a coordinator-assigned Options.Epoch and an Options.StartGate
+// rendezvous so every worker's mailboxes are armed before the first
+// frame flies; a broken mesh is rebuilt by the coordinator (ResetMesh
+// then ConnectMesh on every worker), never by one worker on its own.
+//
 // Options.Ports (a run field) adds the k-ported send path modeled after
 // the paper's multi-channel routers: each rank drives its outbound
 // links through per-destination driver goroutines with bounded queues,
@@ -174,6 +189,25 @@ type Options struct {
 	// mesh; an empty non-nil slice plans no links at all (everything
 	// lazy).
 	Links [][2]int
+	// ListenHost is the host the machine's listeners bind to (a setup
+	// field). Empty means the historical loopback-only "127.0.0.1";
+	// cluster workers that must be reachable from other hosts set it to
+	// an externally visible address. The bound host is also what
+	// LocalAddrs advertises to the coordinator.
+	ListenHost string
+	// Epoch, when nonzero, is the run's frame epoch (a run field). The
+	// cluster coordinator assigns one common epoch to every worker's
+	// run so frames demultiplex consistently across processes; zero
+	// keeps the machine's own auto-incremented epoch.
+	Epoch uint32
+	// StartGate, when non-nil, is called after the run's mailboxes are
+	// armed (pumps deliver current-epoch frames) but before any rank
+	// goroutine launches (a run field). A cluster worker acks "armed" to
+	// the coordinator inside the gate and blocks until every other
+	// worker is armed too, so no frame can arrive at a process that
+	// would still discard it as stale. Returning an error aborts the
+	// run before any rank executes.
+	StartGate func() error
 	// DisableNoDelay leaves Nagle's algorithm enabled on the mesh's
 	// sockets (a setup field, remembered for rebuilds). By default every
 	// dialed and accepted connection sets TCP_NODELAY so small control
@@ -398,6 +432,11 @@ type runState struct {
 	tr      obs.Tracer
 	start   time.Time // zero point of traced Wall stamps
 	aborted atomic.Bool
+	// ctx is the run's context (nil when the run has none): lazy dials
+	// triggered by this run's sends bound their backoff waits and
+	// endpoint waits by it, so a canceled run unwinds promptly instead
+	// of sitting out handshakeTimeout inside ensureLink.
+	ctx context.Context
 }
 
 // wall returns nanoseconds since the run started.
@@ -622,6 +661,9 @@ func (st *state) abort(rs *runState, reason *abortError) {
 	}
 	st.broken.Store(true)
 	for _, pr := range st.procs {
+		if pr == nil {
+			continue // a cluster worker owns only its rank range
+		}
 		pr.in.fail(st, rs, reason)
 	}
 	st.closeConns()
@@ -762,7 +804,7 @@ func (p *Proc) link(dst int) (net.Conn, error) {
 	if c != nil {
 		return c, nil
 	}
-	return p.m.ensureLink(p.rank, dst)
+	return p.m.ensureLink(p.rs.ctx, p.rank, dst)
 }
 
 // sendFail panics out of a failed socket write with the abort
@@ -936,7 +978,10 @@ type Result struct {
 	// Elapsed is the wall-clock duration of the algorithm phase
 	// (connection setup excluded).
 	Elapsed time.Duration
-	// Procs holds per-processor operation counts.
+	// Procs holds per-processor operation counts — every rank on a
+	// single-process machine, only the local rank range on a cluster
+	// worker (each entry's Rank field identifies it; the coordinator
+	// merges the workers' slices).
 	Procs []ProcStats
 }
 
@@ -947,7 +992,12 @@ type Result struct {
 // Close tears it down. Run and Close serialize; a Machine supports one
 // run at a time.
 type Machine struct {
-	size      int
+	size int
+	// lo/hi bound the contiguous rank range this process owns: [0,size)
+	// for the historical single-process machine, a worker's slice for a
+	// cluster partial machine (NewWorkerMachine). listeners and procs
+	// are indexed by rank and nil outside [lo,hi).
+	lo, hi    int
 	mu        sync.Mutex // serializes Run, Close and mesh rebuilds
 	listeners []net.Listener
 	procs     []*Proc
@@ -959,6 +1009,12 @@ type Machine struct {
 	dialAttempts   int
 	dialBackoff    time.Duration
 	disableNoDelay bool
+	listenHost     string
+	// addrs maps remote ranks (outside [lo,hi)) to their listener
+	// addresses, distributed by the cluster coordinator before
+	// ConnectMesh; guarded by st.connMu. Local ranks resolve through
+	// their own listeners.
+	addrs map[int]string
 
 	// pairs is the planned link set as sorted unordered peer pairs
 	// (a<b): every pair in it is dialed at setup and redialed on
@@ -971,10 +1027,18 @@ type Machine struct {
 	// lifetime (setup, lazy and reconnect dials; one per connection, not
 	// per endpoint).
 	connsOpened atomic.Int64
-	// lazyMu serializes on-demand dials so two ranks racing to open the
-	// same unplanned pair converge on one connection.
-	lazyMu   sync.Mutex
-	setupErr error // first setup failure, under st.connMu
+	// lazyMu guards lazyInflight, the per-pair singleflight table of
+	// on-demand dials: two ranks racing to open the same unplanned pair
+	// (either direction) converge on one dial, while dials of distinct
+	// pairs proceed concurrently — one unreachable peer must not
+	// head-of-line-block every other lazy dial on the machine.
+	lazyMu       sync.Mutex
+	lazyInflight map[[2]int]*lazyCall
+	// lazyDials counts on-demand dials actually performed — the sends
+	// the route plan missed. A sparse cluster run that stays at zero
+	// proves the partitioned plan covered every link the schedule used.
+	lazyDials atomic.Int64
+	setupErr  error // first setup failure, under st.connMu
 
 	epoch      uint32
 	reconnects atomic.Int64
@@ -985,10 +1049,43 @@ type Machine struct {
 // NewMachine listens on p loopback ports, dials the planned link set —
 // the full mesh by default, only the pairs Options.Links needs when
 // given — and starts the reader pumps. Only the setup fields of opts
-// are consumed (Dial, DialAttempts, DialBackoff, Links, plus Context to
-// cancel setup); they are remembered for mesh rebuilds after an abort.
-// The caller owns the machine and must Close it.
+// are consumed (Dial, DialAttempts, DialBackoff, Links, ListenHost,
+// plus Context to cancel setup); they are remembered for mesh rebuilds
+// after an abort. The caller owns the machine and must Close it.
 func NewMachine(p int, opts Options) (*Machine, error) {
+	m, err := newMachine(p, 0, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.connectLocked(opts.Context); err != nil {
+		for _, ln := range m.listeners {
+			if ln != nil {
+				ln.Close()
+			}
+		}
+		m.acceptors.Wait()
+		return nil, err
+	}
+	return m, nil
+}
+
+// NewWorkerMachine builds the partial machine a cluster worker owns:
+// listeners, procs and acceptors for the contiguous rank range [lo,hi)
+// of a p-rank mesh, but no connections yet — the coordinator first
+// collects every worker's LocalAddrs, then drives ConnectMesh with the
+// merged rank→address map. The planned link set (Options.Links, or the
+// full mesh when nil) is filtered to the pairs touching [lo,hi); the
+// worker dials exactly those whose higher rank is local.
+func NewWorkerMachine(p, lo, hi int, opts Options) (*Machine, error) {
+	if lo < 0 || hi > p || lo >= hi {
+		return nil, fmt.Errorf("tcp: worker rank range [%d,%d) outside machine of %d ranks", lo, hi, p)
+	}
+	return newMachine(p, lo, hi, opts)
+}
+
+// newMachine allocates the machine, binds the local ranks' listeners
+// and starts their persistent acceptors; it does not connect.
+func newMachine(p, lo, hi int, opts Options) (*Machine, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("tcp: non-positive processor count %d", p)
 	}
@@ -1004,23 +1101,35 @@ func NewMachine(p int, opts Options) (*Machine, error) {
 	if backoff <= 0 {
 		backoff = defaultDialBackoff
 	}
+	host := opts.ListenHost
+	if host == "" {
+		host = "127.0.0.1"
+	}
 	pairs, sparse, err := plannedPairs(p, opts.Links)
 	if err != nil {
 		return nil, err
 	}
 	m := &Machine{
-		size: p, st: &state{},
+		size: p, lo: lo, hi: hi, st: &state{},
 		listeners: make([]net.Listener, p), procs: make([]*Proc, p),
 		dial: dial, dialAttempts: attempts, dialBackoff: backoff,
-		disableNoDelay: opts.DisableNoDelay,
-		pairs:          pairs, sparse: sparse,
+		disableNoDelay: opts.DisableNoDelay, listenHost: host,
+		sparse:       sparse,
+		lazyInflight: make(map[[2]int]*lazyCall),
+	}
+	// A partial machine only dials and waits for the pairs that touch
+	// its own rank range; the rest belong to other workers.
+	for _, pr := range pairs {
+		if m.isLocal(pr[0]) || m.isLocal(pr[1]) {
+			m.pairs = append(m.pairs, pr)
+		}
 	}
 	m.st.procs = m.procs
 	m.st.connCond = sync.NewCond(&m.st.connMu)
-	for i := 0; i < p; i++ {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+	for i := lo; i < hi; i++ {
+		ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
 		if err != nil {
-			for _, l := range m.listeners[:i] {
+			for _, l := range m.listeners[lo:i] {
 				l.Close()
 			}
 			return nil, fmt.Errorf("tcp: listen for rank %d: %w", i, err)
@@ -1034,22 +1143,115 @@ func NewMachine(p int, opts Options) (*Machine, error) {
 			in:  in, st: m.st, m: m, iter: -1,
 		}
 	}
-	// Persistent acceptors: every rank keeps accepting for the
+	// Persistent acceptors: every local rank keeps accepting for the
 	// machine's lifetime, so planned setup, reconnects and lazy dials
 	// all land on the same registration path. They exit when the
 	// listeners close (Close, or a fatal setup failure).
-	for j := 0; j < p; j++ {
+	for j := lo; j < hi; j++ {
 		m.acceptors.Add(1)
 		go m.acceptLoop(j)
 	}
-	if err := m.connect(opts.Context); err != nil {
-		for _, ln := range m.listeners {
-			ln.Close()
-		}
-		m.acceptors.Wait()
-		return nil, err
-	}
 	return m, nil
+}
+
+// isLocal reports whether rank r lives in this process.
+func (m *Machine) isLocal(r int) bool { return r >= m.lo && r < m.hi }
+
+// partial reports whether the machine owns only a slice of the mesh.
+func (m *Machine) partial() bool { return m.lo != 0 || m.hi != m.size }
+
+// LocalAddrs returns the listener address of every local rank — what a
+// cluster worker reports to the coordinator for the merged rank→address
+// map.
+func (m *Machine) LocalAddrs() map[int]string {
+	addrs := make(map[int]string, m.hi-m.lo)
+	for i := m.lo; i < m.hi; i++ {
+		addrs[i] = m.listeners[i].Addr().String()
+	}
+	return addrs
+}
+
+// ConnectMesh dials this machine's share of the planned link set: every
+// planned pair whose higher rank is local, resolving remote ranks
+// through addrs (merged into the table kept from earlier calls; pass
+// nil to reuse it, as coordinator-driven reconnects do). It returns
+// once every planned pair touching the local range has both local
+// endpoints installed. On failure the listeners are closed and the
+// machine is dead.
+func (m *Machine) ConnectMesh(ctx context.Context, addrs map[int]string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		if m.dead != nil {
+			return m.dead
+		}
+		return errors.New("tcp: ConnectMesh on closed machine")
+	}
+	if len(addrs) > 0 {
+		m.st.connMu.Lock()
+		if m.addrs == nil {
+			m.addrs = make(map[int]string, len(addrs))
+		}
+		for r, a := range addrs {
+			if !m.isLocal(r) {
+				m.addrs[r] = a
+			}
+		}
+		m.st.connMu.Unlock()
+	}
+	if err := m.connectLocked(ctx); err != nil {
+		m.closed = true
+		m.dead = fmt.Errorf("tcp: mesh connect failed: %w", err)
+		m.st.closed.Store(true)
+		m.st.closeConns()
+		m.pumps.Wait()
+		return m.dead
+	}
+	return nil
+}
+
+// ResetMesh tears the connections down and joins the pumps, clearing a
+// broken mark, but keeps listeners, acceptors and the address table: the
+// cluster coordinator resets every worker before reconnecting any, so a
+// redial can never race a peer that still considers the mesh broken.
+func (m *Machine) ResetMesh() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("tcp: ResetMesh on closed machine")
+	}
+	m.st.closeConns()
+	m.pumps.Wait()
+	m.clearTable()
+	m.st.broken.Store(false)
+	return nil
+}
+
+// Broken reports whether the mesh is marked damaged (an abort or a
+// between-runs connection failure closed the connections). A
+// single-process machine repairs itself on the next Run; a cluster
+// worker reports the mark to the coordinator, which drives the
+// ResetMesh/ConnectMesh recovery across all workers.
+func (m *Machine) Broken() bool { return m.st.broken.Load() }
+
+// LazyDials reports how many on-demand (unplanned) dials the machine
+// has performed over its lifetime. Zero on a sparse machine means the
+// route plan covered every link the schedules used.
+func (m *Machine) LazyDials() int { return int(m.lazyDials.Load()) }
+
+// addrOf resolves the listener address of rank dst: its own listener
+// when local, the coordinator-distributed table otherwise.
+func (m *Machine) addrOf(dst int) (string, error) {
+	if m.isLocal(dst) {
+		return m.listeners[dst].Addr().String(), nil
+	}
+	m.st.connMu.RLock()
+	addr, ok := m.addrs[dst]
+	m.st.connMu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("tcp: no address known for remote rank %d", dst)
+	}
+	return addr, nil
 }
 
 // plannedPairs normalizes a directed link list into the sorted,
@@ -1135,7 +1337,9 @@ func (m *Machine) Close() error {
 	m.closed = true
 	m.st.closed.Store(true)
 	for _, ln := range m.listeners {
-		ln.Close()
+		if ln != nil {
+			ln.Close()
+		}
 	}
 	m.st.closeConns()
 	m.pumps.Wait()
@@ -1165,6 +1369,13 @@ func (m *Machine) Run(opts Options, fn func(*Proc)) (*Result, error) {
 		return nil, errors.New("tcp: Ports and FlushThreshold are mutually exclusive (the driver queue is the coalescing point)")
 	}
 	if m.st.broken.Load() {
+		if m.partial() {
+			// A worker must never redial on its own: its peers may still
+			// consider the mesh broken and refuse registrations. The
+			// coordinator resets every worker, reconnects every worker,
+			// then retries the run.
+			return nil, errors.New("tcp: mesh broken; awaiting coordinator reset")
+		}
 		if err := m.reconnect(opts.Context); err != nil {
 			// The failed rebuild closed the listeners; the machine is
 			// beyond repair and every future Run reports why.
@@ -1177,11 +1388,17 @@ func (m *Machine) Run(opts Options, fn func(*Proc)) (*Result, error) {
 		}
 	}
 
-	m.epoch++
-	rs := &runState{epoch: m.epoch, tr: opts.Tracer}
+	if opts.Epoch != 0 {
+		// Cluster runs: the coordinator assigns one epoch to every
+		// worker so frames demultiplex consistently across processes.
+		m.epoch = opts.Epoch
+	} else {
+		m.epoch++
+	}
+	rs := &runState{epoch: m.epoch, tr: opts.Tracer, ctx: opts.Context}
 	p := m.size
-	for _, pr := range m.procs {
-		pr.beginRun(rs, opts.RecvTimeout, opts.FlushThreshold, opts.Ports)
+	for i := m.lo; i < m.hi; i++ {
+		m.procs[i].beginRun(rs, opts.RecvTimeout, opts.FlushThreshold, opts.Ports)
 	}
 	rs.start = time.Now()
 	// Inboxes are wiped and stamped for the new run; only now do the
@@ -1216,6 +1433,23 @@ func (m *Machine) Run(opts Options, fn func(*Proc)) (*Result, error) {
 		}()
 	}
 
+	// The start gate runs after the mailboxes armed but before any rank
+	// executes: a cluster worker acks the coordinator here and blocks
+	// until the whole cluster is armed, so no frame can reach a process
+	// that would still discard it as stale.
+	if opts.StartGate != nil {
+		if err := opts.StartGate(); err != nil {
+			m.st.abort(rs, &abortError{cause: fmt.Errorf("run start aborted: %w", err), external: true})
+			m.st.run.Store(nil)
+			close(watchDone)
+			if runTimer != nil {
+				runTimer.Stop()
+			}
+			watchWG.Wait()
+			return nil, fmt.Errorf("tcp: run start aborted: %w", err)
+		}
+	}
+
 	// roots collects root-cause failures (panics, deadline overruns,
 	// broken connections, cancellation); unwinds collects processors
 	// that merely unwound after someone else failed. Roots take
@@ -1224,7 +1458,7 @@ func (m *Machine) Run(opts Options, fn func(*Proc)) (*Result, error) {
 	unwinds := make([]error, p)
 	var wg sync.WaitGroup
 	start := time.Now()
-	for i := 0; i < p; i++ {
+	for i := m.lo; i < m.hi; i++ {
 		pr := m.procs[i]
 		wg.Add(1)
 		go func() {
@@ -1276,13 +1510,14 @@ func (m *Machine) Run(opts Options, fn func(*Proc)) (*Result, error) {
 		runTimer.Stop()
 	}
 	watchWG.Wait()
-	res := &Result{Elapsed: time.Since(start), Procs: make([]ProcStats, p)}
-	for i, pr := range m.procs {
-		res.Procs[i] = ProcStats{
+	res := &Result{Elapsed: time.Since(start), Procs: make([]ProcStats, 0, m.hi-m.lo)}
+	for i := m.lo; i < m.hi; i++ {
+		pr := m.procs[i]
+		res.Procs = append(res.Procs, ProcStats{
 			Rank: i, Sends: pr.sends, Recvs: pr.recvs,
 			SendBytes: pr.sendBytes, RecvBytes: pr.recvBytes,
 			BarrierSends: pr.barrierSends, BarrierRecvs: pr.barrierRecvs,
-		}
+		})
 	}
 	for _, e := range roots {
 		if e != nil {
@@ -1308,7 +1543,7 @@ func (m *Machine) reconnect(ctx context.Context) error {
 	m.pumps.Wait()
 	m.clearTable()
 	m.st.broken.Store(false)
-	if err := m.connect(ctx); err != nil {
+	if err := m.connectLocked(ctx); err != nil {
 		return err
 	}
 	m.reconnects.Add(1)
@@ -1321,6 +1556,9 @@ func (m *Machine) clearTable() {
 	m.st.connMu.Lock()
 	m.st.conns = nil
 	for _, pr := range m.procs {
+		if pr == nil {
+			continue
+		}
 		for k := range pr.conns {
 			pr.conns[k] = nil
 		}
@@ -1372,22 +1610,28 @@ func (m *Machine) admit(j int, conn net.Conn) {
 // register installs one connection endpoint in the table and starts its
 // reader pump, broadcasting to anyone waiting for the pair to complete.
 // It refuses — and the caller must close the connection — when the mesh
-// is closed or broken (a racing teardown) or when the slot is already
-// filled (a duplicate; the established connection keeps the pair's FIFO
-// order). dialed marks the dialing end, counted once per connection in
-// ConnsOpened.
+// is closed or broken (a racing teardown). When the slot is already
+// filled (a duplicate: across processes, both sides of a pair can lazily
+// dial each other at once and neither dialer can see the other's table),
+// the established connection keeps the slot — and the pair's FIFO send
+// order — but the duplicate is still pumped receive-only: the remote
+// process may have installed it as its send path, so refusing it would
+// lose frames. dialed marks the dialing end, counted once per connection
+// in ConnsOpened.
 func (m *Machine) register(owner, peer int, conn net.Conn, dialed bool) bool {
 	st := m.st
 	st.connMu.Lock()
 	defer st.connMu.Unlock()
-	if st.closed.Load() || st.broken.Load() || m.procs[owner].conns[peer] != nil {
+	if st.closed.Load() || st.broken.Load() {
 		return false
 	}
-	m.procs[owner].conns[peer] = conn
-	st.conns = append(st.conns, conn)
 	if dialed {
 		m.connsOpened.Add(1)
 	}
+	if m.procs[owner].conns[peer] == nil {
+		m.procs[owner].conns[peer] = conn
+	}
+	st.conns = append(st.conns, conn)
 	m.pumps.Add(1)
 	go m.pump(m.procs[owner], peer, conn)
 	st.connCond.Broadcast()
@@ -1407,24 +1651,40 @@ func (m *Machine) setupFail(err error) {
 	m.st.connCond.Broadcast()
 	m.st.connMu.Unlock()
 	for _, ln := range m.listeners {
-		ln.Close()
+		if ln != nil {
+			ln.Close()
+		}
 	}
 }
 
-// dialRetry dials addr with the machine's retry/backoff policy and
-// announces src. It is the one dial path: planned setup, reconnect
-// rebuilds and lazy on-demand dials all come through here.
+// dialRetry dials rank dst — the local listener's address, or the
+// coordinator-distributed one for a remote rank — with the machine's
+// retry/backoff policy, and announces src. It is the one dial path:
+// planned setup, reconnect rebuilds and lazy on-demand dials all come
+// through here. ctxDone, when non-nil, cancels the backoff waits and
+// the dial itself.
 func (m *Machine) dialRetry(ctxDone <-chan struct{}, src, dst int) (net.Conn, error) {
-	addr := m.listeners[dst].Addr().String()
+	addr, err := m.addrOf(dst)
+	if err != nil {
+		return nil, err
+	}
 	var conn net.Conn
 	for attempt := 0; ; attempt++ {
 		var err error
-		conn, err = m.dial(addr)
+		conn, err = m.dialCancelable(ctxDone, addr)
 		if err == nil {
 			break
 		}
+		if errors.Is(err, errDialCanceled) {
+			return nil, fmt.Errorf("tcp: rank %d dial rank %d: canceled", src, dst)
+		}
 		if attempt+1 >= m.dialAttempts {
 			return nil, fmt.Errorf("tcp: rank %d dial rank %d failed after %d attempts: %w", src, dst, m.dialAttempts, err)
+		}
+		if m.st.closed.Load() || m.st.broken.Load() {
+			// The run aborted (or the machine closed) while we were
+			// between attempts; a retry would outlive its purpose.
+			return nil, fmt.Errorf("tcp: rank %d dial rank %d: machine torn down", src, dst)
 		}
 		select {
 		case <-time.After(m.dialBackoff << attempt):
@@ -1435,44 +1695,163 @@ func (m *Machine) dialRetry(ctxDone <-chan struct{}, src, dst int) (net.Conn, er
 	m.applyNoDelay(conn)
 	var hs [4]byte
 	binary.BigEndian.PutUint32(hs[:], uint32(int32(src)))
+	conn.SetWriteDeadline(time.Now().Add(handshakeTimeout))
 	if _, err := conn.Write(hs[:]); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("tcp: rank %d handshake to %d: %w", src, dst, err)
 	}
+	conn.SetWriteDeadline(time.Time{})
 	return conn, nil
+}
+
+// errDialCanceled marks a dial abandoned because the caller's context
+// ended while the connection attempt was in flight.
+var errDialCanceled = errors.New("tcp: dial canceled")
+
+// dialCancelable runs the machine's dialer but returns as soon as
+// ctxDone fires, closing the late connection (if any) in the
+// background — net dialers take no context, so a black-holed peer would
+// otherwise pin the caller for the full OS connect timeout.
+func (m *Machine) dialCancelable(ctxDone <-chan struct{}, addr string) (net.Conn, error) {
+	if ctxDone == nil {
+		return m.dial(addr)
+	}
+	type dialResult struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan dialResult, 1)
+	go func() {
+		c, err := m.dial(addr)
+		ch <- dialResult{c, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.conn, r.err
+	case <-ctxDone:
+		go func() {
+			if r := <-ch; r.conn != nil {
+				r.conn.Close()
+			}
+		}()
+		return nil, errDialCanceled
+	}
+}
+
+// lazyCall is one in-flight lazy dial: later requests for the same
+// unordered pair (either direction) wait on done instead of dialing a
+// duplicate, then pick the winner's connection out of the table.
+type lazyCall struct {
+	done chan struct{}
+	err  error
 }
 
 // ensureLink opens the connection for an unplanned (src,dst) link on
 // demand: the sparse mesh's correctness fallback. Dials are serialized
-// machine-wide and the dialer waits until the acceptor's endpoint is
-// registered too, so two ranks racing to open the same pair — or the
-// reverse direction of it — always converge on one connection.
-func (m *Machine) ensureLink(src, dst int) (net.Conn, error) {
-	m.lazyMu.Lock()
-	defer m.lazyMu.Unlock()
-	st := m.st
-	st.connMu.RLock()
-	c := m.procs[src].conns[dst]
-	st.connMu.RUnlock()
-	if c != nil {
-		return c, nil // a racing dial (either direction) won
+// per unordered pair — not machine-wide, so one unreachable peer never
+// head-of-line-blocks unrelated lazy dials — and the dialer waits until
+// the acceptor's endpoint is registered too, so two ranks racing to
+// open the same pair (or the reverse direction of it) always converge
+// on one connection. ctx, normally the run's context, bounds the whole
+// affair: a canceled run returns promptly instead of sitting out
+// handshakeTimeout.
+func (m *Machine) ensureLink(ctx context.Context, src, dst int) (net.Conn, error) {
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
 	}
-	conn, err := m.dialRetry(nil, src, dst)
+	key := [2]int{src, dst}
+	if key[0] > key[1] {
+		key[0], key[1] = key[1], key[0]
+	}
+	st := m.st
+	for {
+		st.connMu.RLock()
+		c := m.procs[src].conns[dst]
+		st.connMu.RUnlock()
+		if c != nil {
+			return c, nil // a racing dial (either direction) won
+		}
+		if st.closed.Load() || st.broken.Load() {
+			return nil, fmt.Errorf("tcp: lazy dial %d→%d: machine torn down", src, dst)
+		}
+		m.lazyMu.Lock()
+		call := m.lazyInflight[key]
+		if call == nil {
+			call = &lazyCall{done: make(chan struct{})}
+			m.lazyInflight[key] = call
+			m.lazyMu.Unlock()
+			conn, err := m.lazyDial(ctxDone, src, dst)
+			m.lazyMu.Lock()
+			delete(m.lazyInflight, key)
+			m.lazyMu.Unlock()
+			call.err = err
+			close(call.done)
+			return conn, err
+		}
+		m.lazyMu.Unlock()
+		select {
+		case <-call.done:
+		case <-ctxDone:
+			return nil, fmt.Errorf("tcp: lazy dial %d→%d: run canceled: %w", src, dst, ctx.Err())
+		}
+		if call.err != nil {
+			// The pair's in-flight dial just failed; piling a retry storm
+			// of our own onto the same dead peer helps nobody.
+			return nil, fmt.Errorf("tcp: lazy dial %d→%d: %w", src, dst, call.err)
+		}
+		// The winner (either direction) registered the connection; loop
+		// to pick it out of the table.
+	}
+}
+
+// lazyDial performs the winning on-demand dial of one unplanned pair
+// and waits until both endpoints are installed.
+func (m *Machine) lazyDial(ctxDone <-chan struct{}, src, dst int) (net.Conn, error) {
+	conn, err := m.dialRetry(ctxDone, src, dst)
 	if err != nil {
 		return nil, err
 	}
+	m.lazyDials.Add(1)
 	if !m.register(src, dst, conn, true) {
 		conn.Close()
 		return nil, fmt.Errorf("tcp: lazy dial %d→%d: machine torn down", src, dst)
 	}
+	// Send on whatever register left in the table: if a racing accepted
+	// connection (the remote side dialing us at the same moment) already
+	// owned the slot, our dialed conn is a receive-only duplicate and
+	// writing to it would split the link's FIFO order across two streams.
+	m.st.connMu.RLock()
+	if c := m.procs[src].conns[dst]; c != nil {
+		conn = c
+	}
+	m.st.connMu.RUnlock()
+	if !m.isLocal(dst) {
+		// The acceptor's endpoint lives in another process; our own
+		// registered end is all this process needs.
+		return conn, nil
+	}
 	// Wait for the acceptor's endpoint so the pair is fully established
 	// before any frame moves: a half-registered pair could otherwise
 	// race the reverse direction into a duplicate connection.
-	timer := time.AfterFunc(handshakeTimeout, func() {
+	st := m.st
+	wake := func() {
 		st.connMu.Lock()
 		st.connCond.Broadcast()
 		st.connMu.Unlock()
-	})
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	if ctxDone != nil {
+		go func() {
+			select {
+			case <-ctxDone:
+				wake()
+			case <-stop:
+			}
+		}()
+	}
+	timer := time.AfterFunc(handshakeTimeout, wake)
 	defer timer.Stop()
 	deadline := time.Now().Add(handshakeTimeout)
 	st.connMu.Lock()
@@ -1480,6 +1859,13 @@ func (m *Machine) ensureLink(src, dst int) (net.Conn, error) {
 	for m.procs[dst].conns[src] == nil {
 		if st.closed.Load() || st.broken.Load() {
 			return nil, fmt.Errorf("tcp: lazy dial %d→%d: machine torn down", src, dst)
+		}
+		if ctxDone != nil {
+			select {
+			case <-ctxDone:
+				return nil, fmt.Errorf("tcp: lazy dial %d→%d: run canceled", src, dst)
+			default:
+			}
 		}
 		if !time.Now().Before(deadline) {
 			return nil, fmt.Errorf("tcp: lazy dial %d→%d: peer endpoint not registered within %v", src, dst, handshakeTimeout)
@@ -1489,12 +1875,14 @@ func (m *Machine) ensureLink(src, dst int) (net.Conn, error) {
 	return conn, nil
 }
 
-// connect dials the planned pairs over the machine's listeners — the
-// higher rank dials, the persistent acceptors register the other end —
-// and waits until every planned pair has both endpoints installed. On
+// connectLocked dials the machine's share of the planned pairs — the
+// higher rank dials (when it is local; a remote dialer's worker handles
+// it), the persistent acceptors register the other end — and waits
+// until every planned pair has its local endpoints installed. On
 // failure the listeners are closed (to unblock the acceptors) and every
-// partially built connection is torn down.
-func (m *Machine) connect(ctx context.Context) error {
+// partially built connection is torn down. Callers hold m.mu (or, for
+// NewMachine, exclusive ownership of a machine nobody else has seen).
+func (m *Machine) connectLocked(ctx context.Context) error {
 	var ctxDone <-chan struct{}
 	if ctx != nil {
 		ctxDone = ctx.Done()
@@ -1519,10 +1907,14 @@ func (m *Machine) connect(ctx context.Context) error {
 	// Dial side: the higher rank of every planned pair dials the lower
 	// and announces itself, one goroutine per dialing rank so setup
 	// latency stays O(pairs/p), with retry and backoff for transient
-	// failures.
+	// failures. On a partial machine, only local dialers dial; pairs
+	// whose higher rank lives in another process are that worker's job
+	// and land here through the acceptors.
 	byDialer := make([][]int, m.size)
 	for _, pr := range m.pairs {
-		byDialer[pr[1]] = append(byDialer[pr[1]], pr[0])
+		if m.isLocal(pr[1]) {
+			byDialer[pr[1]] = append(byDialer[pr[1]], pr[0])
+		}
 	}
 	var wg sync.WaitGroup
 	for i, peers := range byDialer {
@@ -1550,7 +1942,9 @@ func (m *Machine) connect(ctx context.Context) error {
 	err := m.waitPairs()
 	if err != nil {
 		for _, ln := range m.listeners {
-			ln.Close() // waitPairs timeout: unblock the acceptors too
+			if ln != nil {
+				ln.Close() // waitPairs timeout: unblock the acceptors too
+			}
 		}
 		m.st.closeConns()
 		m.pumps.Wait()
@@ -1560,10 +1954,11 @@ func (m *Machine) connect(ctx context.Context) error {
 	return nil
 }
 
-// waitPairs blocks until every planned pair has both endpoints
+// waitPairs blocks until every planned pair has its local endpoints
 // registered (the dialed end synchronously, the accepted end by the
-// acceptor goroutines), a setup error is reported, or the handshake
-// deadline expires.
+// acceptor goroutines; a remote endpoint is the owning worker's
+// business), a setup error is reported, or the handshake deadline
+// expires.
 func (m *Machine) waitPairs() error {
 	st := m.st
 	timer := time.AfterFunc(handshakeTimeout, func() {
@@ -1573,6 +1968,15 @@ func (m *Machine) waitPairs() error {
 	})
 	defer timer.Stop()
 	deadline := time.Now().Add(handshakeTimeout)
+	established := func(a, b int) bool {
+		if m.isLocal(a) && m.procs[a].conns[b] == nil {
+			return false
+		}
+		if m.isLocal(b) && m.procs[b].conns[a] == nil {
+			return false
+		}
+		return true
+	}
 	st.connMu.Lock()
 	defer st.connMu.Unlock()
 	idx := 0
@@ -1581,8 +1985,7 @@ func (m *Machine) waitPairs() error {
 			return m.setupErr
 		}
 		for idx < len(m.pairs) {
-			a, b := m.pairs[idx][0], m.pairs[idx][1]
-			if m.procs[a].conns[b] == nil || m.procs[b].conns[a] == nil {
+			if !established(m.pairs[idx][0], m.pairs[idx][1]) {
 				break
 			}
 			idx++
@@ -1623,6 +2026,15 @@ func (m *Machine) pump(pr *Proc, peer int, conn net.Conn) {
 		if err != nil {
 			if st.closed.Load() || st.broken.Load() {
 				return // session teardown or already-torn mesh
+			}
+			st.connMu.RLock()
+			sidecar := pr.conns[peer] != conn
+			st.connMu.RUnlock()
+			if sidecar {
+				// A receive-only duplicate (the loser of a cross-process
+				// pair race) closed: the link's registered connection is
+				// still up, so nothing is lost and nobody is blocked.
+				return
 			}
 			rs := st.run.Load()
 			if rs != nil {

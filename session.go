@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -87,7 +88,67 @@ type SessionOptions struct {
 	// than p². Ignored by the other engines. An empty non-nil slice
 	// plans no links (everything dials lazily).
 	Links [][2]int
+	// Cluster, when non-nil, runs the TCP mesh across worker OS
+	// processes instead of in-process: Open stands up a coordinator
+	// that spawns (or adopts) the workers, hands each a contiguous rank
+	// range and its share of the Links plan, and wires the mesh across
+	// process boundaries; Run then drives cluster-wide broadcasts
+	// through the same Session API. EngineTCP only — Open rejects the
+	// other engines. See ClusterSpec for the run-option restrictions a
+	// distributed session imposes.
+	Cluster *ClusterSpec
 }
+
+// ClusterSpec configures a multi-process TCP session (see
+// SessionOptions.Cluster). The mesh's p ranks are split into Workers
+// contiguous near-equal ranges, one worker process each; the planned
+// link set (SessionOptions.Links, or the full mesh when nil) is
+// partitioned so intra-worker pairs stay in-process and inter-worker
+// pairs cross the wire with the same frame protocol.
+//
+// A cluster session moves run specs, not Go values, between processes,
+// so Run rejects options that cannot cross a process boundary:
+// RunOptions.Algorithm, Payload, Faults and Trace, Config.MsgBytesFor,
+// and FlushThreshold must be unset (Ports is supported). Sources send
+// the default deterministic payload (MsgBytes bytes of the rank value)
+// and every worker verifies its own ranks' bundles byte-exactly;
+// Result.Bundles is nil — payload bytes never travel the control plane.
+// The repositioning algorithms (Repos_*, Part_*) are rejected: their
+// final bundles are not full broadcasts, which is the invariant the
+// workers verify.
+type ClusterSpec struct {
+	// Workers is the number of worker processes, 1 ≤ Workers ≤ p.
+	Workers int
+	// WorkerCmd, when non-nil, is the argv of the worker command to
+	// spawn; the coordinator passes the control address in the
+	// STPBCAST_CLUSTER_WORKER environment variable. nil re-executes the
+	// current binary — any main that calls MaybeClusterWorker first
+	// (cmd/stpworker, cmd/stpbench) can serve.
+	WorkerCmd []string
+	// Adopt disables spawning: the session waits for Workers externally
+	// started workers to dial ControlAddr.
+	Adopt bool
+	// ControlAddr is the coordinator's control listener address. Empty
+	// means an ephemeral loopback port (fine for spawned workers, which
+	// inherit it; adopted workers need a well-known address).
+	ControlAddr string
+	// AdoptTimeout bounds the wait for workers to dial in; 0 means a
+	// generous default.
+	AdoptTimeout time.Duration
+	// ListenHost is the host every worker binds its mesh listeners to.
+	// Empty means loopback; workers spread across hosts need an
+	// externally visible address.
+	ListenHost string
+}
+
+// MaybeClusterWorker turns the current process into a cluster worker
+// when the coordinator spawned it (the STPBCAST_CLUSTER_WORKER
+// environment variable carries the control address): it serves the
+// cluster session until it closes, then exits the process. In ordinary
+// processes it returns immediately, doing nothing. Any binary that may
+// be named in (or default to) ClusterSpec.WorkerCmd must call it at the
+// top of main.
+func MaybeClusterWorker() { cluster.MaybeWorker() }
 
 // SessionStats aggregate a session's activity across runs.
 type SessionStats struct {
@@ -136,6 +197,7 @@ type Session struct {
 	opts   SessionOptions
 	liveM  *live.Machine
 	tcpM   *tcp.Machine
+	clu    *cluster.Coordinator
 	stats  SessionStats
 	closed bool
 	// pending counts admitted RunAsync broadcasts not yet finished;
@@ -148,6 +210,9 @@ type Session struct {
 // session and must Close it.
 func Open(m *Machine, engine Engine, opts SessionOptions) (*Session, error) {
 	s := &Session{m: m, engine: engine, opts: opts}
+	if opts.Cluster != nil && engine != EngineTCP {
+		return nil, fmt.Errorf("stpbcast: cluster sessions require EngineTCP, not %v", engine)
+	}
 	switch engine {
 	case EngineSim:
 		// The simulator builds its (cheap) network per run for
@@ -163,6 +228,26 @@ func Open(m *Machine, engine Engine, opts SessionOptions) (*Session, error) {
 		}
 		s.liveM = lm
 	case EngineTCP:
+		if cs := opts.Cluster; cs != nil {
+			c, err := cluster.Start(cluster.Spec{
+				Workers:        cs.Workers,
+				P:              m.P(),
+				Links:          opts.Links,
+				WorkerCmd:      cs.WorkerCmd,
+				Adopt:          cs.Adopt,
+				ControlAddr:    cs.ControlAddr,
+				AdoptTimeout:   cs.AdoptTimeout,
+				ListenHost:     cs.ListenHost,
+				DialAttempts:   opts.DialAttempts,
+				DialBackoff:    opts.DialBackoff,
+				DisableNoDelay: opts.DisableNoDelay,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.clu = c
+			return s, nil
+		}
 		tm, err := tcp.NewMachine(m.P(), tcp.Options{
 			Context:        opts.Context,
 			DialAttempts:   opts.DialAttempts,
@@ -219,6 +304,9 @@ func (s *Session) Stats() SessionStats {
 	if s.tcpM != nil && !s.closed {
 		st.Reconnects = s.tcpM.Reconnects()
 	}
+	if s.clu != nil && !s.closed {
+		st.Reconnects = s.clu.Resets()
+	}
 	return st
 }
 
@@ -250,6 +338,10 @@ func (s *Session) Close() (SessionStats, error) {
 	if s.tcpM != nil {
 		s.stats.Reconnects = s.tcpM.Reconnects()
 		err = s.tcpM.Close()
+	}
+	if s.clu != nil {
+		s.stats.Reconnects = s.clu.Resets()
+		err = s.clu.Close()
 	}
 	if s.liveM != nil {
 		err = s.liveM.Close()
@@ -497,6 +589,9 @@ func runSim(m *Machine, cfg Config, opts RunOptions) (*Result, int64, error) {
 // engine: per-run spec/algorithm resolution, a per-run fault injector
 // wrapping each rank's comm, and per-run tracer attachment.
 func (s *Session) runReal(cfg Config, opts RunOptions) (*Result, int64, error) {
+	if s.clu != nil {
+		return s.runCluster(cfg, opts)
+	}
 	spec, err := cfg.spec(s.m)
 	if err != nil {
 		return nil, 0, err
@@ -578,6 +673,62 @@ func (s *Session) runReal(cfg Config, opts RunOptions) (*Result, int64, error) {
 		res.Faults = inj.Events()
 	}
 	return res, sent, nil
+}
+
+// runCluster executes one broadcast across the session's worker
+// processes: it resolves the config to an explicit run spec (registry
+// algorithm name, explicit source ranks) and ships that to the
+// coordinator — Go values cannot cross the process boundary, which is
+// also why the options checked below must be unset.
+func (s *Session) runCluster(cfg Config, opts RunOptions) (*Result, int64, error) {
+	switch {
+	case opts.Algorithm != nil:
+		return nil, 0, errors.New("stpbcast: cluster runs cannot use RunOptions.Algorithm (an explicit Algorithm value cannot cross process boundaries); name a registry algorithm in Config.Algorithm")
+	case opts.Payload != nil:
+		return nil, 0, errors.New("stpbcast: cluster runs cannot use RunOptions.Payload; workers synthesize the default deterministic payload")
+	case opts.Faults != nil:
+		return nil, 0, errors.New("stpbcast: cluster runs do not support fault injection")
+	case opts.Trace != nil:
+		return nil, 0, errors.New("stpbcast: cluster runs do not support tracing")
+	case opts.Context != nil:
+		return nil, 0, errors.New("stpbcast: cluster runs do not support Context; bound them with RunTimeout")
+	case opts.FlushThreshold != 0:
+		return nil, 0, errors.New("stpbcast: cluster runs do not support FlushThreshold")
+	case cfg.MsgBytesFor != nil:
+		return nil, 0, errors.New("stpbcast: cluster runs do not support Config.MsgBytesFor; use a uniform MsgBytes")
+	case cfg.MsgBytes <= 0:
+		return nil, 0, fmt.Errorf("stpbcast: cluster runs need a positive Config.MsgBytes, got %d", cfg.MsgBytes)
+	}
+	spec, err := cfg.spec(s.m)
+	if err != nil {
+		return nil, 0, err
+	}
+	alg, err := resolveAlgorithm(s.m, cfg, spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := s.clu.Run(cluster.RunSpec{
+		Rows:          spec.Rows,
+		Cols:          spec.Cols,
+		Sources:       spec.Sources,
+		RowMajor:      cfg.RowMajor,
+		Algorithm:     alg.Name(),
+		MsgBytes:      cfg.MsgBytes,
+		RecvTimeoutNs: int64(opts.RecvTimeout),
+		RunTimeoutNs:  int64(opts.RunTimeout),
+		Ports:         opts.Ports,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	var sent int64
+	for i := range res.Procs {
+		sent += res.Procs[i].SendBytes
+	}
+	// Bundles stay nil: each worker verified its own ranks byte-exactly;
+	// shipping payload bytes over the control plane would defeat the
+	// point of distributing the mesh.
+	return &Result{Elapsed: res.Elapsed}, sent, nil
 }
 
 // tracerOrNil avoids the classic non-nil interface holding a nil
