@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test race chaos fuzz-seeds bench bench-baseline bench-tcp bench-tcp-baseline bench-all smoke-p64 trace-smoke daemon-smoke cluster-smoke api api-check ci
+.PHONY: all fmt vet build test race chaos fuzz-seeds bench bench-baseline bench-tcp bench-tcp-baseline bench-all smoke-p64 trace-smoke daemon-smoke cluster-smoke collectives-shape api api-check ci
 
 all: ci
 
@@ -101,6 +101,12 @@ daemon-smoke:
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
 
+# Modern-collectives acceptance gate: the figCollectives shape test
+# (newcomer schedules within 10% of the incumbent best per cell, and the
+# per-collective planner tracking the cell's true best).
+collectives-shape:
+	$(GO) test -run 'TestFigCollectivesShape' -count 1 -timeout 10m ./internal/bench/
+
 # Golden public-API surface of the facade package. `make api` refreshes
 # the committed file after an intentional API change; `make api-check`
 # (run by CI) fails when the tree and api/stpbcast.txt disagree, so the
@@ -112,4 +118,4 @@ api:
 api-check:
 	$(GO) run ./cmd/stpapi -dir . -check api/stpbcast.txt
 
-ci: fmt vet build race fuzz-seeds smoke-p64 trace-smoke daemon-smoke cluster-smoke api-check bench-tcp
+ci: fmt vet build race fuzz-seeds smoke-p64 trace-smoke daemon-smoke cluster-smoke collectives-shape api-check bench-tcp

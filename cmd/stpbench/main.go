@@ -62,6 +62,7 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "open-loop duration (with -daemon -rate)")
 	rows := flag.Int("rows", 4, "daemon workload mesh rows (with -daemon)")
 	cols := flag.Int("cols", 4, "daemon workload mesh cols (with -daemon)")
+	collective := flag.String("collective", "", "daemon workload collective pattern, absent = Broadcast (with -daemon)")
 	alg := flag.String("alg", "Br_Lin", "daemon workload algorithm (with -daemon)")
 	dist := flag.String("dist", "E", "daemon workload source distribution (with -daemon)")
 	sources := flag.Int("s", 4, "daemon workload source count (with -daemon)")
@@ -82,7 +83,7 @@ func main() {
 	switch {
 	case *daemonAddr != "":
 		if err := runDaemonLoad(*daemonAddr, *engine, *conc, *requests, *rate, *duration,
-			*rows, *cols, *alg, *dist, *sources, *msgBytes, *tenant, *out); err != nil {
+			*rows, *cols, *collective, *alg, *dist, *sources, *msgBytes, *tenant, *out); err != nil {
 			fatal(err)
 		}
 	case *session:
@@ -135,8 +136,9 @@ var flagModes = map[string]string{
 	"ports": "-session", "sparse": "-session",
 	"list":   "-list",
 	"daemon": "-daemon", "conc": "-daemon", "requests": "-daemon", "rate": "-daemon",
-	"duration": "-daemon", "rows": "-daemon", "cols": "-daemon", "alg": "-daemon",
-	"dist": "-daemon", "s": "-daemon", "bytes": "-daemon", "tenant": "-daemon", "out": "-daemon",
+	"duration": "-daemon", "rows": "-daemon", "cols": "-daemon", "collective": "-daemon",
+	"alg": "-daemon", "dist": "-daemon", "s": "-daemon", "bytes": "-daemon",
+	"tenant": "-daemon", "out": "-daemon",
 }
 
 // engineModes lists the modes -engine applies to, with the values each
@@ -220,6 +222,21 @@ func validateFlags() error {
 			}
 		}
 	case "-daemon":
+		coll, err := stpbcast.ParseCollective(flag.Lookup("collective").Value.String())
+		if err != nil {
+			return fmt.Errorf("-collective: %w", err)
+		}
+		if !coll.Caps().TakesSources {
+			// Sourceless collectives take no -dist/-s: an explicit value
+			// is a usage error, never silently ignored.
+			for _, name := range []string{"dist", "s"} {
+				if set[name] {
+					return fmt.Errorf("-%s: %s takes no source set (every rank contributes)", name, coll)
+				}
+			}
+		} else if coll.Caps().SingleSource && set["s"] && intFlag("s") != 1 {
+			return fmt.Errorf("-s: %s takes a single root, got %d", coll, intFlag("s"))
+		}
 		if n := intFlag("requests"); n <= 0 {
 			return fmt.Errorf("-requests must be positive, got %d", n)
 		}
@@ -557,7 +574,7 @@ func firstLine(s string) string {
 // level. With -out, the reports are also written as JSON
 // (BENCH_daemon.json in the reference runs).
 func runDaemonLoad(addr, engine, concList string, requests int, rate float64, duration time.Duration,
-	rows, cols int, alg, dist string, sources, msgBytes int, tenant, out string) error {
+	rows, cols int, collective, alg, dist string, sources, msgBytes int, tenant, out string) error {
 	if engine == "" {
 		engine = "tcp"
 	}
@@ -565,19 +582,31 @@ func runDaemonLoad(addr, engine, concList string, requests int, rate float64, du
 	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
 		base = "http://" + base
 	}
-	req := daemon.BroadcastRequest{
-		Engine:       engine,
-		Topology:     "paragon",
-		Rows:         rows,
-		Cols:         cols,
-		Algorithm:    alg,
-		Distribution: dist,
-		Sources:      sources,
-		MsgBytes:     msgBytes,
-		Tenant:       tenant,
+	coll, err := stpbcast.ParseCollective(collective)
+	if err != nil {
+		return err
 	}
-	fmt.Printf("load generator: %s %s %dx%d %s/%s s=%d %d B → %s\n",
-		engine, req.Topology, rows, cols, alg, dist, sources, msgBytes, base)
+	req := daemon.BroadcastRequest{
+		Engine:     engine,
+		Topology:   "paragon",
+		Rows:       rows,
+		Cols:       cols,
+		Collective: collective,
+		Algorithm:  alg,
+		MsgBytes:   msgBytes,
+		Tenant:     tenant,
+	}
+	srcDesc := "all-ranks"
+	if coll.Caps().TakesSources {
+		if coll.Caps().SingleSource {
+			sources = 1
+		}
+		req.Distribution = dist
+		req.Sources = sources
+		srcDesc = fmt.Sprintf("%s s=%d", dist, sources)
+	}
+	fmt.Printf("load generator: %s %s %dx%d %s/%s %s %d B → %s\n",
+		engine, req.Topology, rows, cols, coll, alg, srcDesc, msgBytes, base)
 
 	var reports []*daemon.LoadReport
 	if rate > 0 {

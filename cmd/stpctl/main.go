@@ -4,6 +4,7 @@
 // Usage:
 //
 //	stpctl broadcast -engine tcp -rows 4 -cols 4 -alg Br_Lin -dist E -s 4 -bytes 1024
+//	stpctl broadcast -rows 4 -cols 4 -collective AllReduce -bytes 1024
 //	stpctl sessions              # the warm-session pool
 //	stpctl stats                 # daemon-wide counters
 //	stpctl ping                  # liveness
@@ -26,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	stpbcast "repro"
 	"repro/internal/daemon"
 )
 
@@ -140,9 +142,10 @@ func cmdBroadcast(args []string) error {
 	topo := fs.String("topology", "paragon", "machine: paragon, paragon-mpi, t3d or hypercube")
 	rows := fs.Int("rows", 4, "logical mesh rows")
 	cols := fs.Int("cols", 4, "logical mesh cols")
+	collective := fs.String("collective", "", "collective pattern: Broadcast (the default), Reduce, AllReduce, Scatter, AllGather or AllToAll")
 	alg := fs.String("alg", "Auto", "algorithm name, or Auto")
-	dist := fs.String("dist", "E", "source distribution name")
-	s := fs.Int("s", 4, "source count")
+	dist := fs.String("dist", "E", "source distribution name (source-taking collectives only)")
+	s := fs.Int("s", 4, "source count (source-taking collectives only)")
 	bytesF := fs.Int("bytes", 1024, "per-source message bytes")
 	tenant := fs.String("tenant", "stpctl", "tenant name for quota accounting")
 	recvTO := fs.Duration("recv-timeout", 0, "per-receive deadline (0 = daemon default)")
@@ -151,19 +154,36 @@ func cmdBroadcast(args []string) error {
 	jsonF := fs.Bool("json", false, "print the raw JSON response")
 	fs.Parse(args)
 
+	coll, err := stpbcast.ParseCollective(*collective)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stpctl broadcast: -collective: %v\n", err)
+		os.Exit(2)
+	}
 	req := daemon.BroadcastRequest{
 		Engine:        *engine,
 		Topology:      *topo,
 		Rows:          *rows,
 		Cols:          *cols,
+		Collective:    *collective,
 		Algorithm:     *alg,
-		Distribution:  *dist,
-		Sources:       *s,
 		MsgBytes:      *bytesF,
 		Tenant:        *tenant,
 		RecvTimeoutMs: recvTO.Milliseconds(),
 		RunTimeoutMs:  runTO.Milliseconds(),
 		Trace:         *traceF,
+	}
+	if coll.Caps().TakesSources {
+		req.Distribution = *dist
+		req.Sources = *s
+	} else {
+		// Sourceless collectives (AllGather, AllToAll) take no -dist/-s:
+		// an explicit value is a usage error, never silently ignored.
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "dist" || f.Name == "s" {
+				fmt.Fprintf(os.Stderr, "stpctl broadcast: -%s: %s takes no source set (every rank contributes)\n", f.Name, coll)
+				os.Exit(2)
+			}
+		})
 	}
 	var resp daemon.BroadcastResponse
 	if err := call(http.MethodPost, baseURL(*addr)+"/v1/broadcast", req, &resp); err != nil {
@@ -172,8 +192,8 @@ func cmdBroadcast(args []string) error {
 	if *jsonF {
 		return printJSON(resp)
 	}
-	fmt.Printf("ok  key=%s  alg=%s  elapsed=%v  server=%v  runs=%d  failures=%d  bytes=%d  reconnects=%d\n",
-		resp.Key, resp.Algorithm,
+	fmt.Printf("ok  key=%s  collective=%s  alg=%s  elapsed=%v  server=%v  runs=%d  failures=%d  bytes=%d  reconnects=%d\n",
+		resp.Key, resp.Collective, resp.Algorithm,
 		time.Duration(resp.ElapsedNs), time.Duration(resp.ServerNs),
 		resp.Runs, resp.Failures, resp.Bytes, resp.Reconnects)
 	if resp.Events != nil {

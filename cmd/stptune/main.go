@@ -5,6 +5,7 @@
 // Usage:
 //
 //	stptune plan    -machine paragon -rows 10 -cols 10 -dist E -s 30 -bytes 4096
+//	stptune plan    -machine t3d -p 64 -collective AllToAll -bytes 64
 //	stptune sweep   -machine t3d -p 256 -dists E,Cr -s 10,64 -bytes 1024,16384
 //	stptune warm    -machine paragon -cache plans.json -dists R,C,E,Dr,Dl,B,Cr,Sq -s 10,64 -bytes 1024,16384
 //	stptune inspect -cache plans.json
@@ -126,10 +127,36 @@ func (c *commonFlags) planner() (*plan.Planner, *plan.Cache, error) {
 
 func runPlan(args []string) {
 	c := newCommonFlags("plan")
-	distName := c.fs.String("dist", "E", "distribution name")
-	s := c.fs.Int("s", 16, "source count")
-	bytes := c.fs.Int("bytes", 4096, "message length")
+	collFlag := c.fs.String("collective", "", "collective pattern: Broadcast (the default), Reduce, AllReduce, Scatter, AllGather or AllToAll")
+	distName := c.fs.String("dist", "E", "distribution name (source-taking collectives only)")
+	s := c.fs.Int("s", 16, "source count (source-taking collectives only)")
+	bytes := c.fs.Int("bytes", 4096, "message length (per-destination chunk for chunked collectives)")
 	c.fs.Parse(args)
+	coll, err := core.ParseCollective(*collFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stptune plan: -collective:", err)
+		os.Exit(2)
+	}
+	// Source flags only make sense for collectives that take a source
+	// set; an explicit -dist/-s on the others is a usage error, never
+	// silently ignored. Scatter takes exactly one root.
+	distSet := false
+	c.fs.Visit(func(f *flag.Flag) {
+		if f.Name != "dist" && f.Name != "s" {
+			return
+		}
+		if !coll.Caps().TakesSources {
+			fmt.Fprintf(os.Stderr, "stptune plan: -%s: %s takes no source set (every rank contributes)\n", f.Name, coll)
+			os.Exit(2)
+		}
+		if f.Name == "dist" {
+			distSet = true
+		}
+		if f.Name == "s" && coll.Caps().SingleSource && *s != 1 {
+			fmt.Fprintf(os.Stderr, "stptune plan: -s: %s takes a single root, got %d\n", coll, *s)
+			os.Exit(2)
+		}
+	})
 	m, err := c.machineFor()
 	if err != nil {
 		fatal(err)
@@ -138,19 +165,34 @@ func runPlan(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	d, err := dist.ByName(*distName)
-	if err != nil {
-		fatal(err)
+	var spec core.Spec
+	dn := ""
+	switch {
+	case !coll.Caps().TakesSources:
+		spec = core.Spec{Rows: m.Rows, Cols: m.Cols, Sources: core.AllRanksSources(m.P())}
+	case coll.Caps().SingleSource && !distSet:
+		spec = core.Spec{Rows: m.Rows, Cols: m.Cols, Sources: []int{0}}
+	default:
+		sv := *s
+		if coll.Caps().SingleSource {
+			sv = 1
+		}
+		d, err := dist.ByName(*distName)
+		if err != nil {
+			fatal(err)
+		}
+		spec, err = bench.SpecFor(m, d, sv)
+		if err != nil {
+			fatal(err)
+		}
+		dn = *distName
 	}
-	spec, err := bench.SpecFor(m, d, *s)
-	if err != nil {
-		fatal(err)
-	}
-	dec, err := pl.Decide(context.Background(), m, plan.Request{Spec: spec, MsgLen: *bytes, DistName: *distName})
+	dec, err := pl.Decide(context.Background(), m, plan.Request{Spec: spec, Collective: coll, MsgLen: *bytes, DistName: dn})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("machine    %s\n", m.Name)
+	fmt.Printf("collective %s\n", coll)
 	fmt.Printf("key        %s\n", dec.Key.String())
 	fmt.Printf("chosen     %s (%.4f ms, via %s)\n", dec.Algorithm, dec.ElapsedMs, dec.Source)
 	if len(dec.Ranking) > 0 {

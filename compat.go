@@ -1,0 +1,197 @@
+package stpbcast
+
+// This file is the deprecated pre-Run API, kept whole so configurations
+// written against the original one-shot entrypoints keep compiling and
+// return identical results. Every function here is a thin shim over the
+// unified Run; nothing in this file touches the engines directly.
+//
+// Migration table:
+//
+//	Simulate(m, cfg)              → Run(m, EngineSim, cfg, RunOptions{})
+//	SimulateWith(m, alg, cfg)     → Run(m, EngineSim, cfg, RunOptions{Algorithm: alg})
+//	SimulateTraced(m, cfg, cap)   → Run(m, EngineSim, cfg, RunOptions{Trace: NewTraceRecorder(cap)})
+//	SimulateInto(m, cfg, rec)     → Run(m, EngineSim, cfg, RunOptions{Trace: rec})
+//	RunLive(m, cfg, payload)      → Run(m, EngineLive, cfg, RunOptions{Payload: payload})
+//	RunLiveOpts(m, cfg, pl, o)    → Run(m, EngineLive, cfg, o) with o.Payload = pl
+//	RunTCP(m, cfg, payload)       → Run(m, EngineTCP, cfg, RunOptions{Payload: payload})
+//	RunTCPOpts(m, cfg, pl, o)     → Run(m, EngineTCP, cfg, o) with o.Payload = pl
+//	SimResult / LiveResult        → Result (same field names and meanings)
+//
+// For many broadcasts back to back, prefer Open + Session.Run over any
+// one-shot form: a session amortizes engine setup (the TCP mesh in
+// particular) across runs.
+
+import "time"
+
+// SimResult is the outcome of a simulated broadcast.
+//
+// Deprecated: SimResult only remains as the return type of the
+// deprecated Simulate variants; the unified Run/Session.Run return
+// Result, which carries the same fields.
+type SimResult struct {
+	// Elapsed is the simulated makespan.
+	Elapsed time.Duration
+	// Params are the paper's characteristic parameters of the run.
+	Params Params
+	// ActiveProfile is the number of processors communicating in each
+	// algorithm iteration.
+	ActiveProfile []int
+	// Trace holds the recorded events when tracing was requested.
+	Trace *TraceRecorder
+	// HotLinks are the ten busiest directed links of the run, most
+	// loaded first — the congestion hot spots.
+	HotLinks []LinkStats
+	// NodeLoad is, per physical node, the occupancy of its busiest
+	// outgoing link (input for viz.Heatmap).
+	NodeLoad []time.Duration
+}
+
+// LiveResult is the outcome of a live (goroutine) broadcast run.
+//
+// Deprecated: LiveResult only remains as the return type of the
+// deprecated RunLive/RunTCP variants; the unified Run/Session.Run
+// return Result, which carries the same fields.
+type LiveResult struct {
+	// Elapsed is the wall-clock duration.
+	Elapsed time.Duration
+	// Bundles holds, per rank, the received original messages keyed by
+	// origin rank. Every rank holds every source's payload.
+	Bundles []map[int][]byte
+	// Faults lists the faults injected during the run (in canonical
+	// order), when RunOptions.Faults was set. A successful run with a
+	// non-empty Faults list degraded gracefully: every injected fault
+	// was absorbed without changing the delivered bundles.
+	Faults []FaultEvent
+}
+
+// simResult converts to the deprecated Simulate return type.
+func (r *Result) simResult() *SimResult {
+	return &SimResult{
+		Elapsed:       r.Elapsed,
+		Params:        r.Params,
+		ActiveProfile: r.ActiveProfile,
+		Trace:         r.Trace,
+		HotLinks:      r.HotLinks,
+		NodeLoad:      r.NodeLoad,
+	}
+}
+
+// liveResult converts to the deprecated RunLive/RunTCP return type.
+func (r *Result) liveResult() *LiveResult {
+	return &LiveResult{Elapsed: r.Elapsed, Bundles: r.Bundles, Faults: r.Faults}
+}
+
+// Simulate runs one broadcast on the simulated machine and returns timing
+// and metrics. The run is deterministic: identical inputs give identical
+// results.
+//
+// Deprecated: Use Run(m, EngineSim, cfg, RunOptions{}); Simulate is a
+// thin wrapper over it and returns identical results.
+func Simulate(m *Machine, cfg Config) (*SimResult, error) {
+	r, err := Run(m, EngineSim, cfg, RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return r.simResult(), nil
+}
+
+// SimulateWith is Simulate with an explicit Algorithm value instead of a
+// registry name — for parameterized algorithms such as core.BrDims,
+// core.ReposTo or core.WithDiscovery. cfg.Algorithm is ignored.
+//
+// Deprecated: Use Run with RunOptions.Algorithm; SimulateWith is a thin
+// wrapper over it and returns identical results.
+func SimulateWith(m *Machine, alg Algorithm, cfg Config) (*SimResult, error) {
+	r, err := Run(m, EngineSim, cfg, RunOptions{Algorithm: alg})
+	if err != nil {
+		return nil, err
+	}
+	return r.simResult(), nil
+}
+
+// SimulateTraced is Simulate with event recording (at most cap events
+// retained; 0 keeps all).
+//
+// Deprecated: Use Run with RunOptions.Trace set to NewTraceRecorder(cap);
+// SimulateTraced is a thin wrapper over it and returns identical results.
+func SimulateTraced(m *Machine, cfg Config, cap int) (*SimResult, error) {
+	r, err := Run(m, EngineSim, cfg, RunOptions{Trace: NewTraceRecorder(cap)})
+	if err != nil {
+		return nil, err
+	}
+	return r.simResult(), nil
+}
+
+// SimulateInto is Simulate with event recording into a caller-provided
+// recorder — use NewTraceRecorder to cap retention, and the recorder's
+// WriteJSON/WriteChrome to export the stream afterwards.
+//
+// Deprecated: Use Run with RunOptions.Trace; SimulateInto is a thin
+// wrapper over it and returns identical results.
+func SimulateInto(m *Machine, cfg Config, rec *TraceRecorder) (*SimResult, error) {
+	r, err := Run(m, EngineSim, cfg, RunOptions{Trace: rec})
+	if err != nil {
+		return nil, err
+	}
+	return r.simResult(), nil
+}
+
+// RunLive executes the broadcast on the live goroutine engine with real
+// payload bytes. payload(rank) supplies each source's message; it is only
+// called for source ranks. The machine's logical mesh defines the rank
+// space; its cost model is not used (live runs measure wall-clock only).
+//
+// Deprecated: Use Run(m, EngineLive, cfg, RunOptions{Payload: payload});
+// RunLive is a thin wrapper over it and returns identical results.
+func RunLive(m *Machine, cfg Config, payload func(rank int) []byte) (*LiveResult, error) {
+	return RunLiveOpts(m, cfg, payload, RunOptions{})
+}
+
+// RunLiveOpts is RunLive with deadlines, cancellation and fault
+// injection (see RunOptions). With a deadline configured, a hung, dead
+// or killed rank becomes a returned error naming the blocked rank and
+// peer — the run never hangs silently.
+//
+// Deprecated: Use Run(m, EngineLive, cfg, opts) with RunOptions.Payload;
+// RunLiveOpts is a thin wrapper over it and returns identical results.
+func RunLiveOpts(m *Machine, cfg Config, payload func(rank int) []byte, opts RunOptions) (*LiveResult, error) {
+	opts.Payload = payload
+	r, err := Run(m, EngineLive, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return r.liveResult(), nil
+}
+
+// RunTCP executes the broadcast over real loopback TCP sockets — one
+// listener per processor, length-prefixed frames, full mesh of
+// connections — and verifies delivery like RunLive. It is the
+// distributed-transport engine; use it to exercise the algorithms over a
+// transport with real serialization.
+//
+// Deprecated: Use Run(m, EngineTCP, cfg, RunOptions{Payload: payload}) —
+// or, for many broadcasts back to back, Open a Session to reuse the
+// connection mesh. RunTCP is a thin wrapper over the unified path and
+// returns identical results.
+func RunTCP(m *Machine, cfg Config, payload func(rank int) []byte) (*LiveResult, error) {
+	return RunTCPOpts(m, cfg, payload, RunOptions{})
+}
+
+// RunTCPOpts is RunTCP with deadlines, cancellation, dial retry and
+// fault injection (see RunOptions). Transient connection-setup failures
+// are absorbed by retry with exponential backoff; with a deadline
+// configured, a hung, dead or killed rank becomes a returned error
+// naming the blocked rank and peer.
+//
+// Deprecated: Use Run(m, EngineTCP, cfg, opts) with RunOptions.Payload —
+// or, for many broadcasts back to back, Open a Session to reuse the
+// connection mesh. RunTCPOpts is a thin wrapper over the unified path
+// and returns identical results.
+func RunTCPOpts(m *Machine, cfg Config, payload func(rank int) []byte, opts RunOptions) (*LiveResult, error) {
+	opts.Payload = payload
+	r, err := Run(m, EngineTCP, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return r.liveResult(), nil
+}

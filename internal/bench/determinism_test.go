@@ -39,6 +39,51 @@ func TestEveryAlgorithmDeterministic(t *testing.T) {
 	}
 }
 
+// TestEveryCollectiveDeterministic is the p=64 determinism gate for the
+// non-broadcast registry entries: every collective's algorithms run
+// twice on the 4×4×4-torus T3D and the 8×8 Paragon with per-collective
+// specs, requiring bit-identical simulated results.
+func TestEveryCollectiveDeterministic(t *testing.T) {
+	machines := []*machine.Machine{machine.Paragon(8, 8), machine.T3D(64)}
+	for _, m := range machines {
+		specFor := func(coll core.Collective) (core.Spec, error) {
+			switch coll {
+			case core.Reduce, core.AllReduce:
+				return SpecFor(m, dist.Equal(), 16)
+			case core.Scatter:
+				return core.Spec{Rows: m.Rows, Cols: m.Cols, Sources: []int{0}}, nil
+			default:
+				return core.Spec{Rows: m.Rows, Cols: m.Cols, Sources: core.AllRanksSources(m.P())}, nil
+			}
+		}
+		for _, coll := range core.Collectives() {
+			if coll == core.Broadcast {
+				continue // covered by TestEveryAlgorithmDeterministic
+			}
+			spec, err := specFor(coll)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, alg := range core.RegistryFor(coll) {
+				alg := alg
+				t.Run(m.Name+"/"+alg.Name(), func(t *testing.T) {
+					first, err := Measure(m, alg, spec, 2048)
+					if err != nil {
+						t.Fatal(err)
+					}
+					second, err := Measure(m, alg, spec, 2048)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(first, second) {
+						t.Errorf("two runs of %s differ", alg.Name())
+					}
+				})
+			}
+		}
+	}
+}
+
 // TestSchedulerMatchesSeedTimings pins the simulated clocks the seed's
 // O(p) ready-scan scheduler produced on a spread of machines, algorithms
 // and distributions. The heap scheduler orders runnable processors by

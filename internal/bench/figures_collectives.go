@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/par"
+	"repro/internal/plan"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "figCollectives",
+		Title: "Modern collective schedules vs the 1996 suite on the 64-PE T3D: circulant broadcast and Jung–Sakho torus all-to-all",
+		Paper: "Beyond the paper: the circulant-graph broadcast (Träff, arXiv 2407.18004) and the dimension-ordered torus all-to-all (Jung–Sakho, arXiv 0909.1374) join the registry; on equal-spread sources and latency-bound chunks each must run within 10% of — and somewhere beat — the best pre-existing schedule, and Auto must find the winner.",
+		Run:   runFigCollectives,
+	})
+}
+
+// runFigCollectives measures, per cell, three curves on the 4×4×4 T3D:
+// the planner's Auto choice for the cell's collective, the newcomer
+// algorithm (Bcast_Circulant on the broadcast cells, A2A_JungSakho on
+// the all-to-all cells), and the best pre-existing entry (the 1996
+// suite for broadcast, the direct pairwise exchange for all-to-all).
+// Broadcast cells use the equal distribution — the circulant schedule's
+// holder intervals align with evenly spread sources — at latency- to
+// moderately bandwidth-bound lengths; the all-to-all cells sweep the
+// chunk sizes around the Jung–Sakho/pairwise crossover.
+func runFigCollectives() (*Series, error) {
+	m := machine.T3D(64)
+	s := NewSeries("Modern collectives vs incumbents (T3D 64)",
+		"collective/cell", "ms", "Auto", "newcomer", "incumbent-best")
+	type cell struct {
+		label    string
+		coll     core.Collective
+		newcomer string
+		spec     core.Spec
+		distName string
+		l        int
+	}
+	var cells []cell
+	for _, sv := range []int{4, 8, 64} {
+		for _, l := range []int{256, 1024} {
+			spec, err := SpecFor(m, dist.Equal(), sv)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell{
+				label:    fmt.Sprintf("Bcast/E/%d/%d", sv, l),
+				coll:     core.Broadcast,
+				newcomer: "Bcast_Circulant",
+				spec:     spec,
+				distName: dist.Equal().Name(),
+				l:        l,
+			})
+		}
+	}
+	for _, l := range []int{16, 64, 256} {
+		cells = append(cells, cell{
+			label:    fmt.Sprintf("A2A/%d", l),
+			coll:     core.AllToAll,
+			newcomer: "A2A_JungSakho",
+			spec:     core.Spec{Rows: m.Rows, Cols: m.Cols, Sources: core.AllRanksSources(m.P())},
+			l:        l,
+		})
+	}
+	rows := make([][3]float64, len(cells))
+	if err := par.ForEach(len(cells), func(k int) error {
+		c := cells[k]
+		// One planner (and cache) per cell: the shared MemCache is not
+		// built for concurrent writers, and cells never share plan keys.
+		planner := plan.New(plan.Options{Cache: plan.NewMemCache(0)})
+		dec, err := planner.Decide(context.Background(), m, plan.Request{
+			Spec: c.spec, Collective: c.coll, MsgLen: c.l, DistName: c.distName,
+		})
+		if err != nil {
+			return err
+		}
+		var newcomer float64
+		incumbent := math.Inf(1)
+		for _, a := range core.RegistryFor(c.coll) {
+			v, err := MustMillis(m, a, c.spec, c.l)
+			if err != nil {
+				return err
+			}
+			if a.Name() == c.newcomer {
+				newcomer = v
+				continue
+			}
+			if v < incumbent {
+				incumbent = v
+			}
+		}
+		rows[k] = [3]float64{dec.ElapsedMs, newcomer, incumbent}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for k, c := range cells {
+		s.AddX(c.label, rows[k][0], rows[k][1], rows[k][2])
+	}
+	return s, nil
+}

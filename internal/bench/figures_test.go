@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"math"
 	"strconv"
 	"sync"
 	"testing"
@@ -43,7 +44,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"ablation-varlen",
 		"fig10", "fig11a", "fig11b", "fig12", "fig13a", "fig13b",
 		"fig2", "fig2-growth", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-		"figAuto", "figSession", "figSparseMesh", "figTCPHotpath",
+		"figAuto", "figCollectives", "figSession", "figSparseMesh", "figTCPHotpath",
 	}
 	got := Experiments()
 	if len(got) != len(want) {
@@ -460,6 +461,38 @@ func TestFigAutoShape(t *testing.T) {
 	}
 	if worst < 1.3 {
 		t.Errorf("Repos_xy_source never worse than 1.3× best (max ratio %.2f) — grid too easy", worst)
+	}
+}
+
+// TestFigCollectivesShape — the acceptance bar for the modern
+// collective schedules: in every cell the newcomer (circulant broadcast
+// or Jung–Sakho all-to-all) runs within 10% of the best pre-existing
+// algorithm, it strictly beats the incumbent somewhere (the extension
+// pays its way), and the per-collective planner tracks the cell's true
+// best within 10%.
+func TestFigCollectivesShape(t *testing.T) {
+	s := figures(t)["figCollectives"]
+	if len(s.XLabels) == 0 {
+		t.Fatal("figCollectives produced no cells")
+	}
+	beats := false
+	for i, x := range s.XLabels {
+		auto, newc, inc := s.Get("Auto", i), s.Get("newcomer", i), s.Get("incumbent-best", i)
+		if auto <= 0 || newc <= 0 || inc <= 0 {
+			t.Fatalf("%s: non-positive timing (auto %.3f, newcomer %.3f, incumbent %.3f)", x, auto, newc, inc)
+		}
+		if newc > 1.10*inc {
+			t.Errorf("%s: newcomer (%.3f ms) above 1.10× incumbent best (%.3f ms)", x, newc, inc)
+		}
+		if best := math.Min(newc, inc); auto > 1.10*best {
+			t.Errorf("%s: Auto (%.3f ms) above 1.10× cell best (%.3f ms)", x, auto, best)
+		}
+		if newc < inc*0.999 {
+			beats = true
+		}
+	}
+	if !beats {
+		t.Error("newcomers never beat the incumbent in any cell — extension adds nothing")
 	}
 }
 

@@ -14,17 +14,19 @@ import (
 	"repro/internal/topology"
 )
 
-// Measure runs one algorithm on one machine for one broadcast instance
-// and returns the simulated result. Sources enter with length-only parts
-// of msgLen bytes (the simulator prices sizes; no payload buffers are
+// Measure runs one algorithm on one machine for one collective instance
+// (the algorithm's CollectiveOf tag decides the initial bundles) and
+// returns the simulated result. Ranks enter with length-only parts of
+// msgLen bytes (the simulator prices sizes; no payload buffers are
 // allocated).
 func Measure(m *machine.Machine, alg core.Algorithm, spec core.Spec, msgLen int) (*sim.Result, error) {
 	nw, err := m.NewNetwork()
 	if err != nil {
 		return nil, err
 	}
+	coll := core.CollectiveOf(alg)
 	return sim.Run(nw, func(pr *sim.Proc) {
-		mine := core.InitialMessageLen(spec, pr.Rank(), msgLen)
+		mine := core.InitialLenFor(coll, spec, pr.Rank(), msgLen)
 		alg.Run(pr, spec, mine)
 	}, sim.Options{})
 }

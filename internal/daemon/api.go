@@ -84,11 +84,19 @@ type BroadcastRequest struct {
 	// Rows, Cols give the logical mesh (required, positive).
 	Rows int `json:"rows"`
 	Cols int `json:"cols"`
-	// Algorithm is a registry name or "Auto" (the default).
+	// Collective is the communication pattern ("Broadcast", "Reduce",
+	// "AllReduce", "Scatter", "AllGather", "AllToAll"); absent means
+	// Broadcast, so pre-collective clients keep their meaning.
+	Collective string `json:"collective,omitempty"`
+	// Algorithm is a registry name of the collective or "Auto" (the
+	// default).
 	Algorithm string `json:"algorithm,omitempty"`
-	// Distribution is a paper distribution name (default "E").
+	// Distribution is a paper distribution name (default "E" for the
+	// collectives that take a source set; must stay unset for AllGather
+	// and AllToAll, where every rank contributes).
 	Distribution string `json:"distribution,omitempty"`
-	// Sources is the source count s (default 1).
+	// Sources is the source count s (default 1 for the collectives that
+	// take a source set; must stay unset for AllGather and AllToAll).
 	Sources int `json:"sources,omitempty"`
 	// MsgBytes is the per-source message length L (default 0).
 	MsgBytes int `json:"msg_bytes,omitempty"`
@@ -127,25 +135,45 @@ func (r *BroadcastRequest) normalize() string {
 	if _, err := stpbcast.NewMachineByName(r.Topology, r.Rows, r.Cols); err != nil {
 		return err.Error()
 	}
+	coll, err := stpbcast.ParseCollective(r.Collective)
+	if err != nil {
+		return err.Error()
+	}
+	r.Collective = string(coll)
 	if r.Algorithm == "" {
 		r.Algorithm = stpbcast.AutoAlgorithm
 	}
 	if r.Algorithm != stpbcast.AutoAlgorithm {
-		if _, err := stpbcast.AlgorithmByName(r.Algorithm); err != nil {
+		if _, err := stpbcast.AlgorithmByNameFor(coll, r.Algorithm); err != nil {
 			return err.Error()
 		}
 	}
-	if r.Distribution == "" {
-		r.Distribution = "E"
-	}
-	if _, err := stpbcast.DistributionByName(r.Distribution); err != nil {
-		return err.Error()
-	}
-	if r.Sources == 0 {
-		r.Sources = 1
-	}
-	if r.Sources < 1 {
-		return fmt.Sprintf("sources must be positive, got %d", r.Sources)
+	if coll.Caps().TakesSources {
+		if r.Distribution == "" {
+			r.Distribution = "E"
+		}
+		if _, err := stpbcast.DistributionByName(r.Distribution); err != nil {
+			return err.Error()
+		}
+		if r.Sources == 0 {
+			r.Sources = 1
+		}
+		if r.Sources < 1 {
+			return fmt.Sprintf("sources must be positive, got %d", r.Sources)
+		}
+		if coll.Caps().SingleSource && r.Sources > 1 {
+			return fmt.Sprintf("%s takes a single root, got sources=%d", coll, r.Sources)
+		}
+	} else {
+		// Sourceless collectives (AllGather, AllToAll): every rank
+		// contributes, so a distribution or source count is a client
+		// error, not something to silently ignore.
+		if r.Distribution != "" {
+			return fmt.Sprintf("%s takes no source distribution (got %q): every rank contributes", coll, r.Distribution)
+		}
+		if r.Sources != 0 {
+			return fmt.Sprintf("%s takes no source count (got %d): every rank contributes", coll, r.Sources)
+		}
 	}
 	if r.MsgBytes < 0 {
 		return fmt.Sprintf("msg_bytes must be non-negative, got %d", r.MsgBytes)
@@ -170,6 +198,7 @@ func (r *BroadcastRequest) key() Key {
 // config builds the per-run broadcast config (call after normalize).
 func (r *BroadcastRequest) config() stpbcast.Config {
 	return stpbcast.Config{
+		Collective:   stpbcast.Collective(r.Collective),
 		Algorithm:    r.Algorithm,
 		Distribution: r.Distribution,
 		Sources:      r.Sources,
@@ -191,6 +220,9 @@ type EventCounts struct {
 type BroadcastResponse struct {
 	// Key names the warm session that served the request.
 	Key string `json:"key"`
+	// Collective is the normalized pattern the run executed ("Broadcast"
+	// when the request left it out).
+	Collective string `json:"collective"`
 	// Algorithm echoes the request (the planner's pick stays "Auto").
 	Algorithm string `json:"algorithm"`
 	// ElapsedNs is the broadcast duration (simulated makespan under the

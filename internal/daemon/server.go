@@ -318,6 +318,7 @@ func (s *Server) handleBroadcast(w http.ResponseWriter, r *http.Request) {
 	st := lease.Session().Stats()
 	writeJSON(w, http.StatusOK, BroadcastResponse{
 		Key:        key.String(),
+		Collective: req.Collective,
 		Algorithm:  req.Algorithm,
 		ElapsedNs:  res.Elapsed.Nanoseconds(),
 		ServerNs:   serverDur.Nanoseconds(),

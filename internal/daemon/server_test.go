@@ -154,6 +154,11 @@ func TestBroadcastRequestValidation(t *testing.T) {
 		{"negative bytes", BroadcastRequest{Engine: "sim", Rows: 2, Cols: 2, MsgBytes: -1}, "msg_bytes"},
 		{"kill on sim", BroadcastRequest{Engine: "sim", Rows: 2, Cols: 2, Kill: &KillSpec{Rank: 1, Op: 0}}, "real-byte engine"},
 		{"bad topology", BroadcastRequest{Engine: "sim", Topology: "dragonfly", Rows: 2, Cols: 2}, "unknown machine"},
+		{"unknown collective", BroadcastRequest{Engine: "sim", Rows: 2, Cols: 2, Collective: "Gossip"}, "unknown collective"},
+		{"wrong-collective algorithm", BroadcastRequest{Engine: "sim", Rows: 2, Cols: 2, Collective: "AllReduce", Algorithm: "Br_Lin"}, "implements Broadcast, not AllReduce"},
+		{"distribution on an all-to-all", BroadcastRequest{Engine: "sim", Rows: 2, Cols: 2, Collective: "AllToAll", Distribution: "E"}, "no source distribution"},
+		{"sources on an allgather", BroadcastRequest{Engine: "sim", Rows: 2, Cols: 2, Collective: "AllGather", Sources: 2}, "no source count"},
+		{"two roots on a scatter", BroadcastRequest{Engine: "sim", Rows: 2, Cols: 2, Collective: "Scatter", Sources: 2}, "single root"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -178,6 +183,41 @@ func TestBroadcastRequestValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("unknown field accepted with status %d", resp.StatusCode)
+	}
+}
+
+// TestBroadcastCollectives drives non-broadcast collectives through
+// POST /v1/broadcast: the normalized collective is echoed back, the run
+// succeeds on sim and live engines over the same warm session a plain
+// broadcast uses, and an absent collective still means Broadcast.
+func TestBroadcastCollectives(t *testing.T) {
+	_, base := testServer(t, Options{})
+	cases := []BroadcastRequest{
+		{Engine: "sim", Rows: 4, Cols: 4, Collective: "AllReduce", MsgBytes: 256},
+		{Engine: "sim", Rows: 4, Cols: 4, Collective: "AllToAll", Algorithm: "A2A_Pairwise", MsgBytes: 64},
+		{Engine: "live", Rows: 4, Cols: 4, Collective: "Scatter", Algorithm: "Scatter_Binomial", MsgBytes: 64},
+		{Engine: "live", Rows: 4, Cols: 4, Collective: "AllGather", MsgBytes: 64},
+	}
+	for _, req := range cases {
+		status, out, e := post(t, base, req)
+		if status != http.StatusOK {
+			t.Fatalf("%s/%s: status %d: %s", req.Engine, req.Collective, status, e.Error)
+		}
+		if out.Collective != req.Collective {
+			t.Errorf("%s: response echoes collective %q, want %q", req.Collective, out.Collective, req.Collective)
+		}
+		if out.ElapsedNs <= 0 {
+			t.Errorf("%s/%s: non-positive elapsed %d", req.Engine, req.Collective, out.ElapsedNs)
+		}
+	}
+	// Absent collective normalizes to Broadcast (the pre-collective wire
+	// contract), sharing the sim/paragon/4x4 session with the runs above.
+	status, out, e := post(t, base, BroadcastRequest{Engine: "sim", Rows: 4, Cols: 4, MsgBytes: 128})
+	if status != http.StatusOK {
+		t.Fatalf("plain broadcast: status %d: %s", status, e.Error)
+	}
+	if out.Collective != "Broadcast" {
+		t.Errorf("absent collective echoed as %q, want Broadcast", out.Collective)
 	}
 }
 

@@ -121,26 +121,7 @@ func HypercubeNX(dim int) *Machine {
 }
 
 // TorusDims factors p into torus dimensions x ≤ y ≤ z minimizing the
-// spread z−x (near-cubic, like the T3D's physical configurations).
-func TorusDims(p int) (x, y, z int) {
-	if p <= 0 {
-		panic(fmt.Sprintf("machine: non-positive processor count %d", p))
-	}
-	best := [3]int{1, 1, p}
-	for a := 1; a*a*a <= p; a++ {
-		if p%a != 0 {
-			continue
-		}
-		rest := p / a
-		for b := a; b*b <= rest; b++ {
-			if rest%b != 0 {
-				continue
-			}
-			c := rest / b
-			if c-a < best[2]-best[0] {
-				best = [3]int{a, b, c}
-			}
-		}
-	}
-	return best[0], best[1], best[2]
-}
+// spread z−x (near-cubic, like the T3D's physical configurations). It
+// delegates to topology.TorusDims, the canonical decomposition the
+// torus-aware schedules share.
+func TorusDims(p int) (x, y, z int) { return topology.TorusDims(p) }

@@ -162,6 +162,31 @@ func (md *model) estimate(name string) float64 {
 		return md.estRD()
 	case "Indep_1toP":
 		return md.estIndep()
+	case "Bcast_Circulant":
+		return md.estCirculant()
+	case "Red_Tree":
+		return md.estRedTree()
+	case "AllRed_RecDouble":
+		if p := md.spec.P(); p&(p-1) == 0 {
+			return md.estButterfly()
+		}
+		return md.estRedBcast()
+	case "AllRed_RedBcast":
+		return md.estRedBcast()
+	case "Scatter_Binomial":
+		return md.estScatterBinomial()
+	case "Scatter_Direct":
+		return md.estScatterDirect()
+	case "Ag_Ring":
+		// The allgather spec names every rank a source, so the ring and
+		// recursive-doubling closed forms price it directly.
+		return md.estRing()
+	case "Ag_RecDouble":
+		return md.estRD()
+	case "A2A_Pairwise":
+		return md.estA2APairwise()
+	case "A2A_JungSakho":
+		return md.estJungSakho()
 	}
 	if k, ok := kportPorts(name); ok {
 		return md.estKPort(k)
@@ -702,6 +727,183 @@ func (md *model) groupExchange(ls *lineState, members []int, clocks []float64) {
 		ls.holds[v] = true
 		ls.sizes[v] = total
 	}
+}
+
+// --- collective-extension estimates ----------------------------------------
+
+// estCirculant replays Bcast_Circulant's round structure exactly: per
+// round j with skip 2^j, every rank's send and receive volumes follow
+// from the closed-form holder intervals, and per-rank clocks carry the
+// critical path across rounds with true hop distances — the circulant
+// analogue of the estBrLin line replay. Unlike the neighbor-hop line
+// algorithms, a circulant round puts every rank's message on a long
+// wormhole path at once, and dimension-ordered routing funnels many of
+// those paths through shared links; each transfer's serialization term
+// is stretched by the occupancy of the busiest link on its route.
+func (md *model) estCirculant() float64 {
+	p := md.spec.P()
+	if p <= 1 {
+		return 0
+	}
+	l := int64(md.l)
+	countUseful := func(r, limit int) int64 {
+		n := int64(0)
+		for _, o := range md.spec.Sources {
+			if (r-o+p)%p < limit {
+				n++
+			}
+		}
+		return n
+	}
+	clocks := make([]float64, p)
+	dep := make([]float64, p)
+	arr := make([]float64, p)
+	sendN := make([]int64, p)
+	recvN := make([]int64, p)
+	linkStride := md.topo.Degree() + 1
+	linkUse := make([]int, md.topo.Nodes()*linkStride)
+	var routeBuf []topology.Link
+	for skip := 1; skip < p; skip <<= 1 {
+		limit := skip
+		if p-skip < limit {
+			limit = p - skip
+		}
+		for i := range linkUse {
+			linkUse[i] = 0
+		}
+		for r := 0; r < p; r++ {
+			if countUseful(r, limit) > 0 {
+				routeBuf = md.topo.AppendRoute(routeBuf[:0], md.place.Node(r), md.place.Node((r+skip)%p))
+				for _, lk := range routeBuf {
+					linkUse[lk.From*linkStride+int(lk.Dir)]++
+				}
+			}
+		}
+		for r := 0; r < p; r++ {
+			n := countUseful(r, limit)
+			sendN[r] = n
+			if n > 0 {
+				b := n * l
+				dep[r] = clocks[r] + md.so() + md.copy(b)
+				to := (r + skip) % p
+				congest := 1
+				routeBuf = md.topo.AppendRoute(routeBuf[:0], md.place.Node(r), md.place.Node(to))
+				for _, lk := range routeBuf {
+					if u := linkUse[lk.From*linkStride+int(lk.Dir)]; u > congest {
+						congest = u
+					}
+				}
+				h := float64(len(routeBuf))
+				arr[to] = dep[r] + float64(md.cfg.NetStartup) + float64(md.cfg.HopLatency)*h +
+					float64(congest)*float64(b)/md.cfg.LinkBandwidth*1e9
+				recvN[to] = n
+			}
+		}
+		for r := 0; r < p; r++ {
+			t := clocks[r]
+			if sendN[r] > 0 {
+				t = dep[r]
+			}
+			if recvN[r] > 0 {
+				b := recvN[r] * l
+				t = math.Max(t, arr[r]) + md.ro() + md.copy(b) + md.comb(b)
+			}
+			clocks[r] = t
+			sendN[r], recvN[r] = 0, 0
+		}
+	}
+	return maxClock(clocks)
+}
+
+// estRedTree: the binomial reduction tree — ⌈log2 p⌉ levels, each a
+// fixed-size bundle hop plus the fold at the parent (reductions never
+// grow the bundle, unlike the broadcast-combining trees).
+func (md *model) estRedTree() float64 {
+	l := int64(md.l)
+	return md.logp() * (md.so() + md.copy(l) + md.wire(l, md.meanHops) + md.ro() + md.copy(l) + md.comb(l))
+}
+
+// estButterfly: recursive-doubling all-reduce — ⌈log2 p⌉ symmetric
+// exchange rounds, each a send and a receive-plus-fold of the fixed-size
+// partial result.
+func (md *model) estButterfly() float64 {
+	l := int64(md.l)
+	return md.logp() * (md.so() + md.copy(l) + md.wire(l, md.meanHops) + md.ro() + md.copy(l) + md.comb(l))
+}
+
+// estRedBcast: reduce-then-broadcast all-reduce — the tree down and the
+// tree back up, the broadcast half without the fold.
+func (md *model) estRedBcast() float64 {
+	l := int64(md.l)
+	return md.estRedTree() + md.logp()*(md.so()+md.copy(l)+md.wire(l, md.meanHops)+md.ro()+md.copy(l))
+}
+
+// estScatterBinomial: the MST scatter's critical path is the root's
+// chain of halving blocks — p/2·L, p/4·L, … L — each forwarded once.
+func (md *model) estScatterBinomial() float64 {
+	p := md.spec.P()
+	l := int64(md.l)
+	top := 1
+	for top < p {
+		top <<= 1
+	}
+	total := 0.0
+	for mask := top >> 1; mask > 0; mask >>= 1 {
+		b := int64(mask) * l
+		total += md.so() + md.copy(b) + md.wire(b, md.meanHops) + md.ro() + md.copy(b) + md.comb(b)
+	}
+	return total
+}
+
+// estScatterDirect: the root serializes p−1 sends of one chunk each; the
+// makespan is the root's send chain plus the last chunk's flight.
+func (md *model) estScatterDirect() float64 {
+	p := float64(md.spec.P())
+	l := int64(md.l)
+	return (p-1)*(md.so()+md.copy(l)) + md.wire(l, md.meanHops) + md.ro() + md.copy(l)
+}
+
+// estA2APairwise: p−1 serialized exchange steps, each moving one chunk
+// out and one chunk in.
+func (md *model) estA2APairwise() float64 {
+	p := float64(md.spec.P())
+	l := int64(md.l)
+	return (p - 1) * (md.so() + md.copy(l) + md.wire(l, md.meanHops) + md.ro() + md.copy(l))
+}
+
+// estJungSakho prices the dimension-ordered torus all-to-all: for each
+// torus dimension of radix k (topology.TorusDims — the same
+// decomposition the algorithm routes along), k−1 ring steps each moving
+// a (p/k)-chunk block, with the true mean hop distance of that step's
+// fixed stride. Σ(k_d−1) messages against the pairwise exchange's p−1,
+// bought with store-and-forward volume — so it ranks ahead exactly where
+// per-message startup dominates.
+func (md *model) estJungSakho() float64 {
+	p := md.spec.P()
+	if p <= 1 {
+		return 0
+	}
+	x, y, z := topology.TorusDims(p)
+	total := 0.0
+	stride := 1
+	for _, k := range []int{x, y, z} {
+		if k <= 1 {
+			continue
+		}
+		b := int64(p/k) * int64(md.l)
+		for t := 1; t < k; t++ {
+			hops := 0.0
+			for r := 0; r < p; r++ {
+				pos := (r / stride) % k
+				destPos := (pos + t) % k
+				hops += float64(md.hop(r, r+(destPos-pos)*stride))
+			}
+			hops /= float64(p)
+			total += md.so() + md.copy(b) + md.wire(b, hops) + md.ro() + md.copy(b) + md.comb(b)
+		}
+		stride *= k
+	}
+	return total
 }
 
 // estIndep: s uncoordinated binomial broadcasts; every processor relays

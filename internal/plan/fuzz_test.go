@@ -10,12 +10,15 @@ import (
 // every structurally distinct accepted key keeps a distinct encoding
 // (decode is injective on the accepted set).
 func FuzzKeyRoundTrip(f *testing.F) {
+	f.Add("plan2|m=paragon-nx-10x10|g=10x10|c=Broadcast|s=30|lb=13|d=d:E")
+	f.Add("plan2|m=t3d-mpi-256|g=16x16|c=AllToAll|s=64|lb=15|d=h:0123456789abcdef")
+	f.Add("plan2|m=x|g=1x1|c=AllReduce|s=0|lb=0|d=d:R")
+	f.Add("plan2|m=x|g=2x2|c=Scatter|s=+1|lb=3|d=d:E")
+	f.Add("plan2|m=x|g=02x2|c=AllGather|s=1|lb=3|d=d:E")
+	f.Add("plan2|m=a|b|g=2x2|c=Reduce|s=1|lb=3|d=d:E")
+	f.Add("plan2|m=x|g=2x2|c=gossip|s=1|lb=3|d=d:E")
+	f.Add("plan2|m=x|g=2x2|c=broadcast|s=1|lb=3|d=d:E")
 	f.Add("plan1|m=paragon-nx-10x10|g=10x10|s=30|lb=13|d=d:E")
-	f.Add("plan1|m=t3d-mpi-256|g=16x16|s=64|lb=15|d=h:0123456789abcdef")
-	f.Add("plan2|m=x|g=1x1|s=0|lb=0|d=d:R")
-	f.Add("plan1|m=x|g=2x2|s=+1|lb=3|d=d:E")
-	f.Add("plan1|m=x|g=02x2|s=1|lb=3|d=d:E")
-	f.Add("plan1|m=a|b|g=2x2|s=1|lb=3|d=d:E")
 	f.Add("")
 	f.Fuzz(func(t *testing.T, s string) {
 		k, err := ParseKey(s)
@@ -36,19 +39,20 @@ func FuzzKeyRoundTrip(f *testing.F) {
 		// Distinct keys cannot collide: perturb each field and check the
 		// encoding changes.
 		for _, mut := range []Key{
-			{k.Version + 1, k.Machine, k.Rows, k.Cols, k.S, k.LBucket, k.Dist},
-			{k.Version, k.Machine + "z", k.Rows, k.Cols, k.S, k.LBucket, k.Dist},
-			{k.Version, k.Machine, k.Rows + 1, k.Cols, k.S, k.LBucket, k.Dist},
-			{k.Version, k.Machine, k.Rows, k.Cols + 1, k.S, k.LBucket, k.Dist},
-			{k.Version, k.Machine, k.Rows, k.Cols, k.S + 1, k.LBucket, k.Dist},
-			{k.Version, k.Machine, k.Rows, k.Cols, k.S, k.LBucket + 1, k.Dist},
-			{k.Version, k.Machine, k.Rows, k.Cols, k.S, k.LBucket, k.Dist + "z"},
+			{k.Version + 1, k.Machine, k.Rows, k.Cols, k.Coll, k.S, k.LBucket, k.Dist},
+			{k.Version, k.Machine + "z", k.Rows, k.Cols, k.Coll, k.S, k.LBucket, k.Dist},
+			{k.Version, k.Machine, k.Rows + 1, k.Cols, k.Coll, k.S, k.LBucket, k.Dist},
+			{k.Version, k.Machine, k.Rows, k.Cols + 1, k.Coll, k.S, k.LBucket, k.Dist},
+			{k.Version, k.Machine, k.Rows, k.Cols, k.Coll + "z", k.S, k.LBucket, k.Dist},
+			{k.Version, k.Machine, k.Rows, k.Cols, k.Coll, k.S + 1, k.LBucket, k.Dist},
+			{k.Version, k.Machine, k.Rows, k.Cols, k.Coll, k.S, k.LBucket + 1, k.Dist},
+			{k.Version, k.Machine, k.Rows, k.Cols, k.Coll, k.S, k.LBucket, k.Dist + "z"},
 		} {
 			if mut.String() == enc {
 				t.Fatalf("distinct keys share encoding %q", enc)
 			}
 		}
-		if strings.Count(enc, "|") != 5 {
+		if strings.Count(enc, "|") != 6 {
 			t.Fatalf("canonical encoding %q has %d separators", enc, strings.Count(enc, "|"))
 		}
 	})

@@ -38,8 +38,8 @@ import (
 
 // KeyVersion is the canonical key format version. Bump it when the key
 // layout or the meaning of a field changes; the cache discards entries
-// whose version differs.
-const KeyVersion = 1
+// whose version differs. Version 2 added the collective field.
+const KeyVersion = 2
 
 // Key canonically identifies one planning instance. Two instances with
 // the same Key are close enough that the same algorithm choice applies:
@@ -54,6 +54,10 @@ type Key struct {
 	Machine string
 	// Rows, Cols are the logical mesh dimensions.
 	Rows, Cols int
+	// Coll is the collective's canonical name ("Broadcast", "AllToAll",
+	// ...): different collectives have disjoint algorithm sets, so they
+	// never share a plan.
+	Coll string
 	// S is the source count.
 	S int
 	// LBucket is the power-of-two bucket of the message length:
@@ -96,12 +100,13 @@ func DistSignature(distName string, sources []int) string {
 // NewKey builds the canonical key for one planning instance. distName is
 // the paper name of the distribution that produced the sources, or ""
 // when the ranks were pinned explicitly.
-func NewKey(m *machine.Machine, spec core.Spec, msgLen int, distName string) Key {
+func NewKey(m *machine.Machine, coll core.Collective, spec core.Spec, msgLen int, distName string) Key {
 	return Key{
 		Version: KeyVersion,
 		Machine: m.Name,
 		Rows:    spec.Rows,
 		Cols:    spec.Cols,
+		Coll:    string(coll),
 		S:       spec.S(),
 		LBucket: LBucketOf(msgLen),
 		Dist:    DistSignature(distName, spec.Sources),
@@ -112,8 +117,8 @@ func NewKey(m *machine.Machine, spec core.Spec, msgLen int, distName string) Key
 // encoding is injective for keys whose Machine and Dist fields contain no
 // '|' (NewKey never produces one; ParseKey rejects them).
 func (k Key) String() string {
-	return fmt.Sprintf("plan%d|m=%s|g=%dx%d|s=%d|lb=%d|d=%s",
-		k.Version, k.Machine, k.Rows, k.Cols, k.S, k.LBucket, k.Dist)
+	return fmt.Sprintf("plan%d|m=%s|g=%dx%d|c=%s|s=%d|lb=%d|d=%s",
+		k.Version, k.Machine, k.Rows, k.Cols, k.Coll, k.S, k.LBucket, k.Dist)
 }
 
 // ParseKey decodes a canonical key encoding. It is strict: every field
@@ -121,8 +126,8 @@ func (k Key) String() string {
 // input byte for byte.
 func ParseKey(s string) (Key, error) {
 	fields := strings.Split(s, "|")
-	if len(fields) != 6 {
-		return Key{}, fmt.Errorf("plan: key %q: want 6 fields, have %d", s, len(fields))
+	if len(fields) != 7 {
+		return Key{}, fmt.Errorf("plan: key %q: want 7 fields, have %d", s, len(fields))
 	}
 	var k Key
 	if !strings.HasPrefix(fields[0], "plan") {
@@ -155,21 +160,24 @@ func ParseKey(s string) (Key, error) {
 	if mesh != fmt.Sprintf("%dx%d", k.Rows, k.Cols) {
 		return Key{}, fmt.Errorf("plan: key %q: non-canonical mesh %q", s, mesh)
 	}
-	sv, err := get(3, "s=")
+	if k.Coll, err = get(3, "c="); err != nil {
+		return Key{}, err
+	}
+	sv, err := get(4, "s=")
 	if err != nil {
 		return Key{}, err
 	}
 	if k.S, err = strconv.Atoi(sv); err != nil {
 		return Key{}, fmt.Errorf("plan: key %q: bad source count: %v", s, err)
 	}
-	lb, err := get(4, "lb=")
+	lb, err := get(5, "lb=")
 	if err != nil {
 		return Key{}, err
 	}
 	if k.LBucket, err = strconv.Atoi(lb); err != nil {
 		return Key{}, fmt.Errorf("plan: key %q: bad L bucket: %v", s, err)
 	}
-	if k.Dist, err = get(5, "d="); err != nil {
+	if k.Dist, err = get(6, "d="); err != nil {
 		return Key{}, err
 	}
 	if err := k.validate(); err != nil {
@@ -199,6 +207,9 @@ func (k Key) validate() error {
 	}
 	if k.Rows <= 0 || k.Cols <= 0 || k.S < 0 || k.LBucket < 0 {
 		return fmt.Errorf("plan: key: negative or degenerate field")
+	}
+	if coll, err := core.ParseCollective(k.Coll); err != nil || string(coll) != k.Coll {
+		return fmt.Errorf("plan: key: non-canonical collective %q", k.Coll)
 	}
 	if !strings.HasPrefix(k.Dist, "d:") && !strings.HasPrefix(k.Dist, "h:") {
 		return fmt.Errorf("plan: key: distribution signature %q lacks d:/h: prefix", k.Dist)

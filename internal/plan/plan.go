@@ -30,7 +30,8 @@ type Options struct {
 	// limit (par.Limit(), GOMAXPROCS unless overridden by -parallel).
 	Workers int
 	// Candidates restricts the algorithms considered. Empty means every
-	// algorithm in core.Registry(), in the paper's order.
+	// algorithm registered for the request's collective
+	// (core.RegistryFor), in the paper's order.
 	Candidates []string
 	// Cache, when non-nil, short-circuits planning for instances whose
 	// canonical key was decided before.
@@ -63,9 +64,13 @@ type Decision struct {
 
 // Request describes one planning instance.
 type Request struct {
-	// Spec is the validated broadcast instance (mesh, sources).
+	// Collective is the pattern being planned. The zero value means
+	// Broadcast, so pre-collective requests keep their meaning.
+	Collective core.Collective
+	// Spec is the validated collective instance (mesh, sources).
 	Spec core.Spec
-	// MsgLen is the per-source message length L in bytes.
+	// MsgLen is the per-source (or, for chunked collectives, per-chunk)
+	// message length L in bytes.
 	MsgLen int
 	// DistName is the paper name of the distribution that produced the
 	// sources ("E"), or "" when the ranks were pinned explicitly; it
@@ -82,12 +87,20 @@ type Planner struct {
 // New returns a Planner with the given options.
 func New(opts Options) *Planner { return &Planner{opts: opts} }
 
-// Candidates returns the candidate algorithm names the planner considers.
+// Candidates returns the candidate algorithm names the planner considers
+// for broadcasts. Use CandidatesFor for another collective.
 func (pl *Planner) Candidates() []string {
+	return pl.CandidatesFor(core.Broadcast)
+}
+
+// CandidatesFor returns the candidate algorithm names the planner
+// considers for one collective: the configured restriction when set,
+// otherwise every registered algorithm of that collective.
+func (pl *Planner) CandidatesFor(coll core.Collective) []string {
 	if len(pl.opts.Candidates) > 0 {
 		return append([]string(nil), pl.opts.Candidates...)
 	}
-	reg := core.Registry()
+	reg := core.RegistryFor(coll)
 	out := make([]string, len(reg))
 	for i, a := range reg {
 		out[i] = a.Name()
@@ -106,10 +119,14 @@ func (pl *Planner) Decide(ctx context.Context, m *machine.Machine, req Request) 
 	if req.MsgLen < 0 {
 		return nil, fmt.Errorf("plan: negative message length %d", req.MsgLen)
 	}
-	key := NewKey(m, req.Spec, req.MsgLen, req.DistName)
+	coll := req.Collective
+	if coll == "" {
+		coll = core.Broadcast
+	}
+	key := NewKey(m, coll, req.Spec, req.MsgLen, req.DistName)
 	if pl.opts.Cache != nil {
 		if e, ok := pl.opts.Cache.Get(key); ok {
-			if _, err := core.ByName(e.Algorithm); err == nil {
+			if _, err := core.ByNameFor(coll, e.Algorithm); err == nil {
 				return &Decision{
 					Algorithm: e.Algorithm,
 					Key:       key,
@@ -122,9 +139,9 @@ func (pl *Planner) Decide(ctx context.Context, m *machine.Machine, req Request) 
 		}
 	}
 
-	candidates := pl.Candidates()
+	candidates := pl.CandidatesFor(coll)
 	if len(candidates) == 0 {
-		return nil, fmt.Errorf("plan: no candidate algorithms")
+		return nil, fmt.Errorf("plan: no candidate algorithms for %s", coll)
 	}
 	ranking := Rank(m, req.Spec, req.MsgLen, candidates)
 	dec := &Decision{Key: key, Ranking: ranking}

@@ -30,7 +30,7 @@ func TestKeyRoundTrip(t *testing.T) {
 	m := machine.Paragon(10, 10)
 	spec := testSpec(t, m, dist.Equal(), 30)
 	for _, distName := range []string{"E", ""} {
-		k := NewKey(m, spec, 4096, distName)
+		k := NewKey(m, core.Broadcast, spec, 4096, distName)
 		enc := k.String()
 		back, err := ParseKey(enc)
 		if err != nil {
@@ -49,20 +49,20 @@ func TestKeyBucketsAndSignatures(t *testing.T) {
 	m := machine.Paragon(10, 10)
 	spec := testSpec(t, m, dist.Equal(), 30)
 	// Same power-of-two bucket: one key.
-	if NewKey(m, spec, 4096, "E") != NewKey(m, spec, 8191, "E") {
+	if NewKey(m, core.Broadcast, spec, 4096, "E") != NewKey(m, core.Broadcast, spec, 8191, "E") {
 		t.Error("L=4096 and L=8191 should share bucket 13")
 	}
 	// Bucket boundary: different keys.
-	if NewKey(m, spec, 4096, "E") == NewKey(m, spec, 4095, "E") {
+	if NewKey(m, core.Broadcast, spec, 4096, "E") == NewKey(m, core.Broadcast, spec, 4095, "E") {
 		t.Error("L=4096 and L=4095 should differ")
 	}
 	// Named distribution vs explicit ranks: different signatures.
-	if NewKey(m, spec, 4096, "E").Dist == NewKey(m, spec, 4096, "").Dist {
+	if NewKey(m, core.Broadcast, spec, 4096, "E").Dist == NewKey(m, core.Broadcast, spec, 4096, "").Dist {
 		t.Error("named and hashed signatures collide")
 	}
 	// Different explicit rank sets: different hashes.
 	other := testSpec(t, m, dist.Cross(), 30)
-	if NewKey(m, spec, 4096, "").Dist == NewKey(m, other, 4096, "").Dist {
+	if NewKey(m, core.Broadcast, spec, 4096, "").Dist == NewKey(m, core.Broadcast, other, 4096, "").Dist {
 		t.Error("distinct rank sets hash equal")
 	}
 }
@@ -96,7 +96,7 @@ func TestCacheHitMissCounters(t *testing.T) {
 	c := NewMemCache(0)
 	m := machine.Paragon(4, 4)
 	spec := testSpec(t, m, dist.Equal(), 4)
-	k := NewKey(m, spec, 1024, "E")
+	k := NewKey(m, core.Broadcast, spec, 1024, "E")
 	hits := metrics.GetCounter(CounterCacheHits)
 	misses := metrics.GetCounter(CounterCacheMisses)
 	h0, m0 := hits.Value(), misses.Value()
@@ -121,7 +121,7 @@ func TestCacheEvictionFIFO(t *testing.T) {
 	spec := testSpec(t, m, dist.Equal(), 4)
 	var keys []Key
 	for i := 0; i < 5; i++ {
-		k := NewKey(m, spec, 1<<uint(i+4), "E") // distinct L buckets
+		k := NewKey(m, core.Broadcast, spec, 1<<uint(i+4), "E") // distinct L buckets
 		keys = append(keys, k)
 		if err := c.Put(k, Entry{Algorithm: "Br_Lin", Source: "probe"}); err != nil {
 			t.Fatal(err)
@@ -147,7 +147,7 @@ func TestCachePersistence(t *testing.T) {
 	}
 	m := machine.T3D(64)
 	spec := testSpec(t, m, dist.Row(), 8)
-	k := NewKey(m, spec, 2048, "R")
+	k := NewKey(m, core.Broadcast, spec, 2048, "R")
 	if err := c.Put(k, Entry{Algorithm: "PersAlltoAll", ElapsedMs: 2.25, Source: "probe"}); err != nil {
 		t.Fatal(err)
 	}

@@ -29,8 +29,9 @@ func probeOne(m *machine.Machine, alg core.Algorithm, spec core.Spec, msgLen, ma
 	if err != nil {
 		return 0, err
 	}
+	coll := core.CollectiveOf(alg)
 	res, err := sim.Run(nw, func(pr *sim.Proc) {
-		mine := core.InitialMessageLen(spec, pr.Rank(), msgLen)
+		mine := core.InitialLenFor(coll, spec, pr.Rank(), msgLen)
 		alg.Run(pr, spec, mine)
 	}, sim.Options{MaxOps: maxOps})
 	if err != nil {

@@ -58,8 +58,9 @@ func Routes(m *machine.Machine, alg core.Algorithm, spec core.Spec, msgLen int) 
 		return nil, err
 	}
 	lc := &linkCollector{links: make(map[[2]int]struct{})}
+	coll := core.CollectiveOf(alg)
 	_, err = sim.Run(nw, func(pr *sim.Proc) {
-		mine := core.InitialMessageLen(spec, pr.Rank(), msgLen)
+		mine := core.InitialLenFor(coll, spec, pr.Rank(), msgLen)
 		alg.Run(pr, spec, mine)
 	}, sim.Options{Tracer: lc, MaxOps: routeMaxOps})
 	if err != nil {

@@ -182,3 +182,31 @@ func NearSquare(p int) (r, c int) {
 	best := f[len(f)-1]
 	return best[0], best[1]
 }
+
+// TorusDims factors p into torus dimensions x ≤ y ≤ z minimizing the
+// spread z−x (near-cubic, like the T3D's physical configurations). It is
+// the canonical k-ary n-dimensional decomposition shared by the machine
+// constructors and the torus-aware schedules (the Jung–Sakho all-to-all
+// decomposes the rank space along exactly these dimensions).
+func TorusDims(p int) (x, y, z int) {
+	if p <= 0 {
+		panic(fmt.Sprintf("topology: non-positive processor count %d", p))
+	}
+	best := [3]int{1, 1, p}
+	for a := 1; a*a*a <= p; a++ {
+		if p%a != 0 {
+			continue
+		}
+		rest := p / a
+		for b := a; b*b <= rest; b++ {
+			if rest%b != 0 {
+				continue
+			}
+			c := rest / b
+			if c-a < best[2]-best[0] {
+				best = [3]int{a, b, c}
+			}
+		}
+	}
+	return best[0], best[1], best[2]
+}

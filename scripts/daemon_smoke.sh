@@ -48,14 +48,22 @@ ctl broadcast -engine sim -rows 4 -cols 4 -alg Br_xy_source -s 4 -bytes 4096
 ctl broadcast -engine live -rows 3 -cols 3 -alg Br_Lin -s 3 -bytes 256
 ctl broadcast -engine tcp -rows 2 -cols 2 -alg Br_Lin -s 2 -bytes 128 -trace
 
+echo "== a non-broadcast collective over a warm session"
+ctl broadcast -engine live -rows 3 -cols 3 -collective AllReduce -bytes 256 \
+    | grep -q 'collective=AllReduce' || { echo "allreduce run missing its collective echo"; exit 1; }
+# -dist on a sourceless collective is a usage error, caught client-side.
+if ctl broadcast -engine sim -rows 4 -cols 4 -collective AllToAll -dist E 2>/dev/null; then
+    echo "stpctl accepted -dist for AllToAll"; exit 1
+fi
+
 echo "== sessions and stats"
 ctl sessions
 ctl stats
 
-echo "== metrics reflect the three runs"
+echo "== metrics reflect the four runs"
 ctl metrics > "$workdir/metrics.txt"
-grep -q '^stpbcastd_requests_total 3$' "$workdir/metrics.txt"
-grep -q '^stpbcastd_completed_total 3$' "$workdir/metrics.txt"
+grep -q '^stpbcastd_requests_total 4$' "$workdir/metrics.txt"
+grep -q '^stpbcastd_completed_total 4$' "$workdir/metrics.txt"
 grep -q '^stpbcastd_failed_total 0$' "$workdir/metrics.txt"
 grep -q '^stpbcastd_sessions 3$' "$workdir/metrics.txt"
 

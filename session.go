@@ -501,7 +501,9 @@ type Result struct {
 	// outgoing link (EngineSim only; input for viz.Heatmap).
 	NodeLoad []time.Duration
 	// Bundles holds, per rank, the received original messages keyed by
-	// origin rank (real-byte engines only).
+	// origin rank (real-byte engines only). The combining collectives
+	// (Reduce, AllReduce) deliver a single entry keyed by ReducedOrigin;
+	// a Reduce leaves non-root ranks with an empty map.
 	Bundles []map[int][]byte
 	// Faults lists the faults injected during the run, when
 	// RunOptions.Faults was set.
@@ -510,24 +512,18 @@ type Result struct {
 	Trace *TraceRecorder
 }
 
-// simResult converts to the deprecated Simulate return type.
-func (r *Result) simResult() *SimResult {
-	return &SimResult{
-		Elapsed:       r.Elapsed,
-		Params:        r.Params,
-		ActiveProfile: r.ActiveProfile,
-		Trace:         r.Trace,
-		HotLinks:      r.HotLinks,
-		NodeLoad:      r.NodeLoad,
+// checkAlgorithmCollective rejects an algorithm whose collective tag
+// does not match the config's collective — the guard behind
+// RunOptions.Algorithm (named algorithms are already collective-checked
+// by resolveAlgorithm's ByNameFor).
+func checkAlgorithmCollective(alg Algorithm, coll Collective) error {
+	if got := core.CollectiveOf(alg); got != coll {
+		return fmt.Errorf("stpbcast: algorithm %s implements %s, but Config.Collective is %s", alg.Name(), got, coll)
 	}
+	return nil
 }
 
-// liveResult converts to the deprecated RunLive/RunTCP return type.
-func (r *Result) liveResult() *LiveResult {
-	return &LiveResult{Elapsed: r.Elapsed, Bundles: r.Bundles, Faults: r.Faults}
-}
-
-// runSim executes one simulated broadcast. The simulator is
+// runSim executes one simulated collective. The simulator is
 // deterministic, so a session adds no warm state — each run builds a
 // fresh network, keeping results identical to the one-shot path.
 func runSim(m *Machine, cfg Config, opts RunOptions) (*Result, int64, error) {
@@ -538,12 +534,16 @@ func runSim(m *Machine, cfg Config, opts RunOptions) (*Result, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	coll := cfg.collective()
 	alg := opts.Algorithm
 	if alg == nil {
 		alg, err = resolveAlgorithm(m, cfg, spec)
 		if err != nil {
 			return nil, 0, err
 		}
+	}
+	if err := checkAlgorithmCollective(alg, coll); err != nil {
+		return nil, 0, err
 	}
 	nw, err := m.NewNetwork()
 	if err != nil {
@@ -560,7 +560,14 @@ func runSim(m *Machine, cfg Config, opts RunOptions) (*Result, int64, error) {
 		sopts.Tracer = opts.Trace
 	}
 	res, err := sim.Run(nw, func(pr *sim.Proc) {
-		mine := core.InitialMessageLen(spec, pr.Rank(), msgLens[pr.Rank()])
+		var mine comm.Message
+		if coll == core.Broadcast {
+			mine = core.InitialMessageLen(spec, pr.Rank(), msgLens[pr.Rank()])
+		} else {
+			// Non-broadcast collectives run uniform lengths (Validate
+			// rejects MsgBytesFor for them).
+			mine = core.InitialLenFor(coll, spec, pr.Rank(), cfg.MsgBytes)
+		}
 		alg.Run(pr, spec, mine)
 	}, sopts)
 	if err != nil {
@@ -596,6 +603,7 @@ func (s *Session) runReal(cfg Config, opts RunOptions) (*Result, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	coll := cfg.collective()
 	alg := opts.Algorithm
 	if alg == nil {
 		alg, err = resolveAlgorithm(s.m, cfg, spec)
@@ -603,9 +611,12 @@ func (s *Session) runReal(cfg Config, opts RunOptions) (*Result, int64, error) {
 			return nil, 0, err
 		}
 	}
+	if err := checkAlgorithmCollective(alg, coll); err != nil {
+		return nil, 0, err
+	}
 	payload := opts.Payload
 	if payload == nil {
-		payload = defaultPayload(cfg)
+		payload = defaultPayload(cfg, s.m.P())
 	}
 	var inj *faults.Injector
 	if opts.Faults != nil {
@@ -620,10 +631,7 @@ func (s *Session) runReal(cfg Config, opts RunOptions) (*Result, int64, error) {
 		if inj != nil {
 			c = inj.Wrap(c)
 		}
-		var mine comm.Message
-		if spec.IsSource(rank) {
-			mine = comm.Message{Parts: []comm.Part{{Origin: rank, Data: payload(rank)}}}
-		}
+		mine := core.InitialFor(coll, spec, rank, payload)
 		out := alg.Run(c, spec, mine)
 		got := make(map[int][]byte, len(out.Parts))
 		for _, part := range out.Parts {
@@ -681,6 +689,9 @@ func (s *Session) runReal(cfg Config, opts RunOptions) (*Result, int64, error) {
 // coordinator — Go values cannot cross the process boundary, which is
 // also why the options checked below must be unset.
 func (s *Session) runCluster(cfg Config, opts RunOptions) (*Result, int64, error) {
+	if coll := cfg.collective(); !coll.Caps().Cluster {
+		return nil, 0, fmt.Errorf("stpbcast: cluster sessions support Broadcast only, not %s (workers verify full broadcasts)", coll)
+	}
 	switch {
 	case opts.Algorithm != nil:
 		return nil, 0, errors.New("stpbcast: cluster runs cannot use RunOptions.Algorithm (an explicit Algorithm value cannot cross process boundaries); name a registry algorithm in Config.Algorithm")
@@ -753,7 +764,22 @@ func msgLenFor(cfg Config, rank int) int {
 
 // defaultPayload synthesizes deterministic per-source payloads when
 // RunOptions.Payload is nil: msgLenFor bytes of the source's rank value.
-func defaultPayload(cfg Config) func(rank int) []byte {
+// For the chunked collectives (Scatter, AllToAll) the payload carries p
+// chunks of MsgBytes bytes each, chunk d filled with byte(rank + 131·d)
+// so every (source, destination) pair is distinguishable.
+func defaultPayload(cfg Config, p int) func(rank int) []byte {
+	if cfg.collective().Caps().Chunked {
+		return func(rank int) []byte {
+			buf := make([]byte, p*cfg.MsgBytes)
+			for d := 0; d < p; d++ {
+				chunk := buf[d*cfg.MsgBytes : (d+1)*cfg.MsgBytes]
+				for i := range chunk {
+					chunk[i] = byte(rank + 131*d)
+				}
+			}
+			return buf
+		}
+	}
 	return func(rank int) []byte {
 		buf := make([]byte, msgLenFor(cfg, rank))
 		for i := range buf {

@@ -50,6 +50,7 @@ package stpbcast
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -123,15 +124,68 @@ func NewMachineByName(kind string, rows, cols int) (*Machine, error) {
 	return nil, fmt.Errorf("stpbcast: unknown machine %q (want paragon, paragon-mpi, t3d or hypercube)", kind)
 }
 
-// Algorithm is one s-to-p broadcasting algorithm (see core for the suite).
+// Algorithm is one collective algorithm (see core for the suite).
 type Algorithm = core.Algorithm
 
-// Algorithms returns every implemented algorithm in the paper's order.
+// Algorithms returns every implemented broadcast algorithm in the
+// paper's order. Use AlgorithmsFor for the other collectives.
 func Algorithms() []Algorithm { return core.Registry() }
 
 // AlgorithmByName returns the algorithm with the paper's name
-// ("Br_Lin", "Repos_xy_source", ...).
+// ("Br_Lin", "Repos_xy_source", ...), searching every collective's
+// entries. Prefer AlgorithmByNameFor when the intended collective is
+// known — it rejects a name that belongs to a different collective.
 func AlgorithmByName(name string) (Algorithm, error) { return core.ByName(name) }
+
+// Collective names one collective communication pattern. Broadcast is
+// the paper's s-to-p problem; the others are the modern extensions
+// built on the same machinery. The zero value ("") means Broadcast.
+type Collective = core.Collective
+
+// The implemented collectives (Config.Collective values).
+const (
+	// CollectiveBroadcast: s sources each hold a message that must reach
+	// all p processors (the paper's problem, and the default).
+	CollectiveBroadcast = core.Broadcast
+	// CollectiveReduce folds the sources' contributions into one bundle
+	// at the root (the first source) under the byte-wise sum mod 256.
+	CollectiveReduce = core.Reduce
+	// CollectiveAllReduce is Reduce delivered to every processor.
+	CollectiveAllReduce = core.AllReduce
+	// CollectiveScatter splits the root's p per-destination chunks so
+	// that rank r ends with exactly chunk r.
+	CollectiveScatter = core.Scatter
+	// CollectiveAllGather concatenates every rank's contribution on
+	// every rank.
+	CollectiveAllGather = core.AllGather
+	// CollectiveAllToAll is the personalized exchange: every rank holds
+	// p chunks, one per destination, and ends with the p addressed to it.
+	CollectiveAllToAll = core.AllToAll
+)
+
+// ReducedOrigin is the Bundles key (and part origin) of a reduction
+// result: CollectiveReduce and CollectiveAllReduce fold every
+// contribution into one part with this origin, which can never collide
+// with a rank.
+const ReducedOrigin = core.ReducedOrigin
+
+// Collectives returns every implemented collective, Broadcast first.
+func Collectives() []Collective { return core.Collectives() }
+
+// ParseCollective maps a (case-insensitive) collective name to its
+// canonical value; the empty string means CollectiveBroadcast.
+func ParseCollective(name string) (Collective, error) { return core.ParseCollective(name) }
+
+// AlgorithmsFor returns the registered algorithms implementing one
+// collective, in registration order.
+func AlgorithmsFor(coll Collective) []Algorithm { return core.RegistryFor(coll) }
+
+// AlgorithmByNameFor returns the named algorithm if it implements the
+// given collective, and a diagnostic naming the algorithm's actual
+// collective otherwise.
+func AlgorithmByNameFor(coll Collective, name string) (Algorithm, error) {
+	return core.ByNameFor(coll, name)
+}
 
 // Distribution places source processors on the logical mesh.
 type Distribution = dist.Distribution
@@ -154,13 +208,28 @@ type LinkStats = network.LinkStats
 // choice. See Plan for the selection procedure.
 const AutoAlgorithm = "Auto"
 
-// Config selects one broadcast instance.
+// Config selects one collective instance.
 type Config struct {
-	// Algorithm is the paper name of the algorithm ("Br_xy_source"), or
-	// AutoAlgorithm to let the planner choose.
+	// Collective is the communication pattern to run
+	// (CollectiveBroadcast, CollectiveAllReduce, ...). The zero value
+	// means CollectiveBroadcast, so configurations written before the
+	// collective axis existed keep their meaning. Each collective
+	// constrains the remaining fields by its capability row (see
+	// Validate): the sourceless collectives (AllGather, AllToAll) reject
+	// any source placement, Scatter takes at most one root, and only
+	// Broadcast supports MsgBytesFor and cluster sessions.
+	Collective Collective
+	// Algorithm is the registry name of the algorithm ("Br_xy_source",
+	// "AllRed_RecDouble", ...), or AutoAlgorithm — the meaning of the
+	// empty string too — to let the planner choose among the
+	// Collective's entries. A name that belongs to a different
+	// collective is rejected with a diagnostic.
 	Algorithm string
 	// Distribution is the paper name of the source distribution ("E"),
-	// ignored when Sources lists explicit ranks.
+	// ignored when Sources lists explicit ranks. Only meaningful for
+	// collectives that take a source set (Broadcast, Reduce, AllReduce,
+	// Scatter); for Reduce/AllReduce an empty placement means every rank
+	// contributes, and for Scatter it means root 0.
 	Distribution string
 	// Sources is the number of source processors, 1 ≤ s ≤ p.
 	Sources int
@@ -169,7 +238,9 @@ type Config struct {
 	// be sorted (a sorted copy is taken); duplicate or out-of-range ranks
 	// are reported as errors.
 	SourceRanks []int
-	// MsgBytes is the per-source message length L.
+	// MsgBytes is the per-source message length L — for the chunked
+	// collectives (Scatter, AllToAll) the per-destination chunk length,
+	// so a payload supplies p·MsgBytes bytes.
 	MsgBytes int
 	// RowMajor switches Br_Lin's linear order from the default
 	// snake-like row-major to plain row-major (ablation).
@@ -177,32 +248,93 @@ type Config struct {
 	// MsgBytesFor, when non-nil, gives each source its own message
 	// length, overriding MsgBytes (the paper's variable-length
 	// experiment). It is only called for source ranks; a negative return
-	// is clamped to a zero-length message.
+	// is clamped to a zero-length message. Broadcast only.
 	MsgBytesFor func(rank int) int
 }
 
-// Validate checks the machine-independent configuration invariants —
-// currently that the message length is non-negative. Machine-dependent
-// checks (distribution names, source counts and ranks) surface when the
-// config is resolved against a machine at run time. Every entrypoint —
-// Plan, Run, Session.Run and the deprecated one-shot wrappers — calls
-// Validate exactly once.
-func (c Config) Validate() error {
-	if c.MsgBytes < 0 {
-		return fmt.Errorf("stpbcast: negative message length %d", c.MsgBytes)
+// collective returns the canonical collective the config names. It
+// assumes Validate passed (every entrypoint validates first); an
+// unparseable value degrades to Broadcast rather than panicking.
+func (c Config) collective() Collective {
+	coll, err := core.ParseCollective(string(c.Collective))
+	if err != nil {
+		return core.Broadcast
 	}
-	return nil
+	return coll
 }
 
-// spec resolves the configuration against a machine.
+// Validate checks the machine-independent configuration invariants and
+// reports every violation at once: the returned error joins one entry
+// per problem (errors.Join), each naming the offending Config field, so
+// a caller sees the full repair list rather than the first failure.
+// Beyond the non-negative message length, the config must respect its
+// collective's capability row — the sourceless collectives (AllGather,
+// AllToAll) take no Distribution/Sources/SourceRanks, the single-root
+// collectives (Scatter) take at most one source, and MsgBytesFor is
+// broadcast-only. Machine-dependent checks (distribution names, source
+// counts and ranks) surface when the config is resolved against a
+// machine at run time. Every entrypoint — Plan, Run, Session.Run and
+// the deprecated one-shot wrappers — calls Validate exactly once.
+func (c Config) Validate() error {
+	var errs []error
+	coll, collErr := core.ParseCollective(string(c.Collective))
+	if collErr != nil {
+		errs = append(errs, fmt.Errorf("stpbcast: Config.Collective: %w", collErr))
+	}
+	if c.MsgBytes < 0 {
+		errs = append(errs, fmt.Errorf("stpbcast: Config.MsgBytes: negative message length %d", c.MsgBytes))
+	}
+	if collErr == nil {
+		caps := coll.Caps()
+		if !caps.TakesSources {
+			if c.Distribution != "" {
+				errs = append(errs, fmt.Errorf("stpbcast: Config.Distribution: %s takes no source placement (every rank contributes); leave it unset", coll))
+			}
+			if c.Sources != 0 {
+				errs = append(errs, fmt.Errorf("stpbcast: Config.Sources: %s takes no source count (every rank contributes); leave it unset", coll))
+			}
+			if c.SourceRanks != nil {
+				errs = append(errs, fmt.Errorf("stpbcast: Config.SourceRanks: %s takes no source ranks (every rank contributes); leave them unset", coll))
+			}
+		}
+		if caps.SingleSource {
+			if c.Sources > 1 {
+				errs = append(errs, fmt.Errorf("stpbcast: Config.Sources: %s has a single root, got %d sources", coll, c.Sources))
+			}
+			if len(c.SourceRanks) > 1 {
+				errs = append(errs, fmt.Errorf("stpbcast: Config.SourceRanks: %s has a single root, got %d ranks", coll, len(c.SourceRanks)))
+			}
+		}
+		if c.MsgBytesFor != nil && coll != core.Broadcast {
+			errs = append(errs, fmt.Errorf("stpbcast: Config.MsgBytesFor: per-source message lengths are broadcast-only, not supported by %s", coll))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// spec resolves the configuration against a machine. The sourceless
+// collectives synthesize the every-rank source list; Reduce/AllReduce
+// default to every rank contributing and Scatter to root 0 when no
+// placement is given.
 func (c Config) spec(m *Machine) (core.Spec, error) {
+	coll := c.collective()
+	caps := coll.Caps()
 	var sources []int
-	if c.SourceRanks != nil {
+	switch {
+	case !caps.TakesSources:
+		sources = core.AllRanksSources(m.P())
+	case c.SourceRanks != nil:
 		// Sort a copy so callers may list ranks in any order; duplicates
 		// and out-of-range ranks then surface as Validate errors.
 		sources = append([]int(nil), c.SourceRanks...)
 		sort.Ints(sources)
-	} else {
+	case c.Distribution == "" && c.Sources == 0 && coll != core.Broadcast:
+		if caps.SingleSource {
+			sources = []int{0}
+		} else {
+			sources = core.AllRanksSources(m.P())
+		}
+	default:
 		d, err := dist.ByName(c.Distribution)
 		if err != nil {
 			return core.Spec{}, err
@@ -232,13 +364,13 @@ type PlanDecision = plan.Decision
 // cache so repeated Auto runs of the same instance skip the probes.
 var defaultPlanner = plan.New(plan.Options{Cache: plan.NewMemCache(0)})
 
-// Plan selects the fastest algorithm for the broadcast instance described
-// by cfg (cfg.Algorithm is ignored). It ranks every registered algorithm
-// with the analytic cost model, refines the front-runners with
-// deterministic probe simulations, and caches the decision in memory:
-// identical inputs yield the identical plan, and a warm cache answers
-// without probing. For variable-length runs (MsgBytesFor) the planner
-// prices the longest source message.
+// Plan selects the fastest algorithm for the collective instance
+// described by cfg (cfg.Algorithm is ignored). It ranks the collective's
+// registered algorithms with the analytic cost model, refines the
+// front-runners with deterministic probe simulations, and caches the
+// decision in memory: identical inputs yield the identical plan, and a
+// warm cache answers without probing. For variable-length runs
+// (MsgBytesFor) the planner prices the longest source message.
 func Plan(m *Machine, cfg Config) (*PlanDecision, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -270,23 +402,28 @@ func planFor(m *Machine, cfg Config, spec core.Spec) (*PlanDecision, error) {
 		}
 	}
 	return defaultPlanner.Decide(context.Background(), m, plan.Request{
-		Spec:     spec,
-		MsgLen:   msgLen,
-		DistName: distName,
+		Spec:       spec,
+		Collective: cfg.collective(),
+		MsgLen:     msgLen,
+		DistName:   distName,
 	})
 }
 
-// resolveAlgorithm maps cfg.Algorithm to a runnable algorithm, invoking
-// the planner for AutoAlgorithm.
+// resolveAlgorithm maps cfg.Algorithm to a runnable algorithm of the
+// config's collective, invoking the planner for AutoAlgorithm (or the
+// empty string — the zero Config plans, like the zero Collective
+// broadcasts). A name that implements a different collective is
+// rejected with a diagnostic naming both.
 func resolveAlgorithm(m *Machine, cfg Config, spec core.Spec) (Algorithm, error) {
-	if cfg.Algorithm != AutoAlgorithm {
-		return core.ByName(cfg.Algorithm)
+	coll := cfg.collective()
+	if cfg.Algorithm != AutoAlgorithm && cfg.Algorithm != "" {
+		return core.ByNameFor(coll, cfg.Algorithm)
 	}
 	dec, err := planFor(m, cfg, spec)
 	if err != nil {
 		return nil, err
 	}
-	return core.ByName(dec.Algorithm)
+	return core.ByNameFor(coll, dec.Algorithm)
 }
 
 // TraceRecorder is the concurrency-safe event recorder behind
@@ -308,102 +445,6 @@ type TraceEvent = obs.Event
 // obsTracer is the engine-facing tracer interface (internal alias so the
 // session plumbing can pass a typed nil).
 type obsTracer = obs.Tracer
-
-// SimResult is the outcome of a simulated broadcast.
-//
-// Deprecated: SimResult only remains as the return type of the
-// deprecated Simulate variants; the unified Run/Session.Run return
-// Result, which carries the same fields.
-type SimResult struct {
-	// Elapsed is the simulated makespan.
-	Elapsed time.Duration
-	// Params are the paper's characteristic parameters of the run.
-	Params Params
-	// ActiveProfile is the number of processors communicating in each
-	// algorithm iteration.
-	ActiveProfile []int
-	// Trace holds the recorded events when tracing was requested.
-	Trace *TraceRecorder
-	// HotLinks are the ten busiest directed links of the run, most
-	// loaded first — the congestion hot spots.
-	HotLinks []LinkStats
-	// NodeLoad is, per physical node, the occupancy of its busiest
-	// outgoing link (input for viz.Heatmap).
-	NodeLoad []time.Duration
-}
-
-// Simulate runs one broadcast on the simulated machine and returns timing
-// and metrics. The run is deterministic: identical inputs give identical
-// results.
-//
-// Deprecated: Use Run(m, EngineSim, cfg, RunOptions{}); Simulate is a
-// thin wrapper over it and returns identical results.
-func Simulate(m *Machine, cfg Config) (*SimResult, error) {
-	r, err := Run(m, EngineSim, cfg, RunOptions{})
-	if err != nil {
-		return nil, err
-	}
-	return r.simResult(), nil
-}
-
-// SimulateWith is Simulate with an explicit Algorithm value instead of a
-// registry name — for parameterized algorithms such as core.BrDims,
-// core.ReposTo or core.WithDiscovery. cfg.Algorithm is ignored.
-//
-// Deprecated: Use Run with RunOptions.Algorithm; SimulateWith is a thin
-// wrapper over it and returns identical results.
-func SimulateWith(m *Machine, alg Algorithm, cfg Config) (*SimResult, error) {
-	r, err := Run(m, EngineSim, cfg, RunOptions{Algorithm: alg})
-	if err != nil {
-		return nil, err
-	}
-	return r.simResult(), nil
-}
-
-// SimulateTraced is Simulate with event recording (at most cap events
-// retained; 0 keeps all).
-//
-// Deprecated: Use Run with RunOptions.Trace set to NewTraceRecorder(cap);
-// SimulateTraced is a thin wrapper over it and returns identical results.
-func SimulateTraced(m *Machine, cfg Config, cap int) (*SimResult, error) {
-	r, err := Run(m, EngineSim, cfg, RunOptions{Trace: NewTraceRecorder(cap)})
-	if err != nil {
-		return nil, err
-	}
-	return r.simResult(), nil
-}
-
-// SimulateInto is Simulate with event recording into a caller-provided
-// recorder — use NewTraceRecorder to cap retention, and the recorder's
-// WriteJSON/WriteChrome to export the stream afterwards.
-//
-// Deprecated: Use Run with RunOptions.Trace; SimulateInto is a thin
-// wrapper over it and returns identical results.
-func SimulateInto(m *Machine, cfg Config, rec *TraceRecorder) (*SimResult, error) {
-	r, err := Run(m, EngineSim, cfg, RunOptions{Trace: rec})
-	if err != nil {
-		return nil, err
-	}
-	return r.simResult(), nil
-}
-
-// LiveResult is the outcome of a live (goroutine) broadcast run.
-//
-// Deprecated: LiveResult only remains as the return type of the
-// deprecated RunLive/RunTCP variants; the unified Run/Session.Run
-// return Result, which carries the same fields.
-type LiveResult struct {
-	// Elapsed is the wall-clock duration.
-	Elapsed time.Duration
-	// Bundles holds, per rank, the received original messages keyed by
-	// origin rank. Every rank holds every source's payload.
-	Bundles []map[int][]byte
-	// Faults lists the faults injected during the run (in canonical
-	// order), when RunOptions.Faults was set. A successful run with a
-	// non-empty Faults list degraded gracefully: every injected fault
-	// was absorbed without changing the delivered bundles.
-	Faults []FaultEvent
-}
 
 // FaultPlan describes a deterministic fault schedule for chaos runs:
 // per-link drop/delay/duplicate/corrupt probabilities decided by Seed,
@@ -485,66 +526,6 @@ type RunOptions struct {
 	// FlushThreshold are mutually exclusive. Ignored by the other
 	// engines.
 	Ports int
-}
-
-// RunLive executes the broadcast on the live goroutine engine with real
-// payload bytes. payload(rank) supplies each source's message; it is only
-// called for source ranks. The machine's logical mesh defines the rank
-// space; its cost model is not used (live runs measure wall-clock only).
-//
-// Deprecated: Use Run(m, EngineLive, cfg, RunOptions{Payload: payload});
-// RunLive is a thin wrapper over it and returns identical results.
-func RunLive(m *Machine, cfg Config, payload func(rank int) []byte) (*LiveResult, error) {
-	return RunLiveOpts(m, cfg, payload, RunOptions{})
-}
-
-// RunLiveOpts is RunLive with deadlines, cancellation and fault
-// injection (see RunOptions). With a deadline configured, a hung, dead
-// or killed rank becomes a returned error naming the blocked rank and
-// peer — the run never hangs silently.
-//
-// Deprecated: Use Run(m, EngineLive, cfg, opts) with RunOptions.Payload;
-// RunLiveOpts is a thin wrapper over it and returns identical results.
-func RunLiveOpts(m *Machine, cfg Config, payload func(rank int) []byte, opts RunOptions) (*LiveResult, error) {
-	opts.Payload = payload
-	r, err := Run(m, EngineLive, cfg, opts)
-	if err != nil {
-		return nil, err
-	}
-	return r.liveResult(), nil
-}
-
-// RunTCP executes the broadcast over real loopback TCP sockets — one
-// listener per processor, length-prefixed frames, full mesh of
-// connections — and verifies delivery like RunLive. It is the
-// distributed-transport engine; use it to exercise the algorithms over a
-// transport with real serialization.
-//
-// Deprecated: Use Run(m, EngineTCP, cfg, RunOptions{Payload: payload}) —
-// or, for many broadcasts back to back, Open a Session to reuse the
-// connection mesh. RunTCP is a thin wrapper over the unified path and
-// returns identical results.
-func RunTCP(m *Machine, cfg Config, payload func(rank int) []byte) (*LiveResult, error) {
-	return RunTCPOpts(m, cfg, payload, RunOptions{})
-}
-
-// RunTCPOpts is RunTCP with deadlines, cancellation, dial retry and
-// fault injection (see RunOptions). Transient connection-setup failures
-// are absorbed by retry with exponential backoff; with a deadline
-// configured, a hung, dead or killed rank becomes a returned error
-// naming the blocked rank and peer.
-//
-// Deprecated: Use Run(m, EngineTCP, cfg, opts) with RunOptions.Payload —
-// or, for many broadcasts back to back, Open a Session to reuse the
-// connection mesh. RunTCPOpts is a thin wrapper over the unified path
-// and returns identical results.
-func RunTCPOpts(m *Machine, cfg Config, payload func(rank int) []byte, opts RunOptions) (*LiveResult, error) {
-	opts.Payload = payload
-	r, err := Run(m, EngineTCP, cfg, opts)
-	if err != nil {
-		return nil, err
-	}
-	return r.liveResult(), nil
 }
 
 // Experiment regenerates one table or figure of the paper (see
